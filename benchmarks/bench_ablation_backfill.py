@@ -1,0 +1,43 @@
+"""Ablation A2: backfill window and reservation policy.
+
+The paper fixes EASY with a window of 50 (section 5.4.3).  This bench
+shows what that choice is worth: pure FIFO collapses utilization for
+every scheme, the window's marginal value flattens past ~50, and the
+reservation policy (how the head's shadow time is maintained under a
+constrained allocator) trades large-job starvation against drains.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import paper_setup, run_scheme
+
+
+def bench_backfill_window(benchmark, save_result, scale):
+    def run():
+        setup = paper_setup("Synth-16", scale=scale)
+        rows = {}
+        for window in (0, 1, 10, 50, 200):
+            result = run_scheme(setup, "jigsaw", backfill_window=window)
+            rows[f"window={window}"] = {
+                "utilization %": result.steady_state_utilization,
+                "mean turnaround s": result.mean_turnaround,
+            }
+        for policy in ("renew", "sticky", "slip"):
+            result = run_scheme(setup, "jigsaw", reservation_policy=policy)
+            rows[f"policy={policy}"] = {
+                "utilization %": result.steady_state_utilization,
+                "mean turnaround s": result.mean_turnaround,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_backfill",
+        render_table(
+            "Ablation: EASY backfill window and reservation policy (Jigsaw, Synth-16)",
+            rows,
+            ["utilization %", "mean turnaround s"],
+            row_header="Variant",
+        ),
+    )
+    assert rows["window=0"]["utilization %"] < rows["window=50"]["utilization %"]
+    assert rows["window=1"]["utilization %"] < rows["window=50"]["utilization %"]

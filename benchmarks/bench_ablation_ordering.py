@@ -1,0 +1,47 @@
+"""Ablation A3: shape-enumeration order and placement strategy.
+
+Algorithm 1 returns the first allocation found; the order in which
+shapes are enumerated and whether candidate placements are scored for
+fragmentation (this implementation's default) are free choices the
+paper leaves open.  This bench quantifies them.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import paper_setup, run_scheme
+
+VARIANTS = {
+    "scored/dense": dict(strategy="scored", order="dense"),
+    "scored/sparse": dict(strategy="scored", order="sparse"),
+    "first/dense": dict(strategy="first", order="dense"),
+    "first/sparse": dict(strategy="first", order="sparse"),
+}
+
+
+def bench_ordering(benchmark, save_result, scale):
+    def run():
+        setup = paper_setup("Synth-16", scale=scale)
+        rows = {}
+        for label, kwargs in VARIANTS.items():
+            result = run_scheme(setup, "jigsaw", **kwargs)
+            rows[label] = {
+                "utilization %": result.steady_state_utilization,
+                "sched ms/job": result.mean_sched_time_per_job * 1e3,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_ordering",
+        render_table(
+            "Ablation: Jigsaw shape ordering and placement strategy (Synth-16)",
+            rows,
+            ["utilization %", "sched ms/job"],
+            row_header="Variant",
+        ),
+    )
+    # Fragmentation-scored placement should not be worse than plain
+    # first-found under the default dense ordering.
+    assert (
+        rows["scored/dense"]["utilization %"]
+        >= rows["first/dense"]["utilization %"] - 0.5
+    )

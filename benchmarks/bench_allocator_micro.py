@@ -1,0 +1,59 @@
+"""Micro-benchmarks: raw allocate/release cost per scheme.
+
+Unlike the table/figure benches (one full simulation, ``rounds=1``),
+these use pytest-benchmark's normal repeated timing: a cluster is
+pre-filled to a steady-state-like occupancy, then one allocate/release
+pair is timed.  This isolates Table 3's quantity — allocator cost — from
+simulation overhead, and tracks regressions in the search code.
+"""
+
+import random
+
+import pytest
+
+from repro import FatTree, make_allocator
+
+SIZES = [1, 3, 5, 8, 13, 20, 33, 48, 70]
+
+
+def _prefill(allocator, occupancy: float, seed: int = 7):
+    """Fill the cluster to roughly ``occupancy`` with a random job mix."""
+    rng = random.Random(seed)
+    total = allocator.tree.num_nodes
+    jid = 0
+    while allocator.free_nodes > (1 - occupancy) * total:
+        jid += 1
+        if allocator.allocate(jid, rng.choice(SIZES)) is None:
+            break
+    return jid
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "jigsaw", "laas", "ta", "lc+s"])
+def bench_allocate_release(benchmark, scheme):
+    tree = FatTree.from_radix(18)
+    allocator = make_allocator(scheme, tree)
+    _prefill(allocator, occupancy=0.85)
+    job_id = [10**6]
+
+    def one_cycle():
+        job_id[0] += 1
+        if allocator.allocate(job_id[0], 13) is not None:
+            allocator.release(job_id[0])
+
+    benchmark(one_cycle)
+
+
+@pytest.mark.parametrize("radix", [16, 18, 22, 28])
+def bench_jigsaw_by_cluster_size(benchmark, radix):
+    """Jigsaw's scaling with cluster size (Table 3's size axis)."""
+    tree = FatTree.from_radix(radix)
+    allocator = make_allocator("jigsaw", tree)
+    _prefill(allocator, occupancy=0.85)
+    job_id = [10**6]
+
+    def one_cycle():
+        job_id[0] += 1
+        if allocator.allocate(job_id[0], 2 * tree.m1 + 3) is not None:
+            allocator.release(job_id[0])
+
+    benchmark(one_cycle)

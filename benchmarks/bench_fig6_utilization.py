@@ -1,0 +1,26 @@
+"""Regenerate Figure 6: average system utilization, 5 schemes x 9 traces.
+
+Reproduction targets (shape, not absolute points): Baseline on top at
+97-100 %; LC+S >= Jigsaw; Jigsaw clearly above LaaS; LaaS above or near
+TA; every isolating scheme's worst trace is Atlas or a heavy Cab month.
+"""
+
+from repro.experiments import fig6
+
+
+def bench_fig6(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: fig6.fig6_utilization(scale=scale), rounds=1, iterations=1
+    )
+    save_result("fig6_utilization", fig6.render(rows))
+
+    # The paper's headline ordering must hold on the synthetic traces.
+    for name in ("Synth-16", "Synth-22", "Synth-28"):
+        r = rows[name]
+        assert r["baseline"] > r["jigsaw"] > r["laas"], rows
+        assert r["baseline"] >= 97.0
+        assert r["jigsaw"] >= 88.0
+    # Jigsaw beats both prior isolating schemes on every trace.
+    for name, r in rows.items():
+        assert r["jigsaw"] >= r["laas"] - 0.5, (name, r)
+        assert r["jigsaw"] >= r["ta"] - 0.5, (name, r)

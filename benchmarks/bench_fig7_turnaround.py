@@ -1,0 +1,22 @@
+"""Regenerate Figure 7: normalized turnaround on Aug-Cab and Oct-Cab.
+
+Shape targets: under the 10 % and 20 % speed-up scenarios Jigsaw's
+all-job turnaround beats Baseline (ratio < 1); TA is the worst isolating
+scheme in every scenario; LaaS sits between TA and Jigsaw.
+"""
+
+from repro.experiments import fig7
+
+
+def bench_fig7(benchmark, save_result, scale):
+    results = benchmark.pedantic(
+        lambda: fig7.fig7_turnaround(scale=scale), rounds=1, iterations=1
+    )
+    save_result("fig7_turnaround", fig7.render(results))
+
+    for trace, by_scenario in results.items():
+        for scenario in ("10%", "20%"):
+            row = by_scenario[scenario]
+            assert row["jigsaw"] < 1.0, (trace, scenario, row)
+            assert row["jigsaw"] <= row["laas"] + 0.02, (trace, scenario, row)
+            assert row["jigsaw"] <= row["ta"] + 0.02, (trace, scenario, row)

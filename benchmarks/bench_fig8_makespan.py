@@ -1,0 +1,21 @@
+"""Regenerate Figure 8: normalized makespan on Thunder and Atlas.
+
+Shape targets: with no speed-ups Jigsaw's makespan is within a few
+percent of Baseline; under speed-ups it matches or beats Baseline; TA
+never beats Jigsaw.
+"""
+
+from repro.experiments import fig8
+
+
+def bench_fig8(benchmark, save_result, scale):
+    results = benchmark.pedantic(
+        lambda: fig8.fig8_makespan(scale=scale), rounds=1, iterations=1
+    )
+    save_result("fig8_makespan", fig8.render(results))
+
+    for trace, by_scenario in results.items():
+        assert by_scenario["none"]["jigsaw"] <= 1.25, (trace, by_scenario)
+        assert by_scenario["20%"]["jigsaw"] < 1.0, (trace, by_scenario)
+        for scenario, row in by_scenario.items():
+            assert row["jigsaw"] <= row["ta"] + 0.05, (trace, scenario, row)

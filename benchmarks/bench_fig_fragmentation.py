@@ -1,0 +1,23 @@
+"""Extension bench: fragmentation decomposition (section 6.1, measured).
+
+Asserted shape: LaaS carries nonzero padding (internal fragmentation)
+and Jigsaw none; Jigsaw keeps mid-size placements feasible more often
+than TA, whose containment rules strand free capacity (external
+fragmentation)."""
+
+from repro.experiments import figfrag
+
+
+def bench_fragmentation(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: figfrag.fragmentation_timeseries(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig_fragmentation", figfrag.render(rows))
+
+    assert rows["laas"]["padding %"] > 0.0, rows
+    assert rows["jigsaw"]["padding %"] == 0.0, rows
+    assert rows["ta"]["padding %"] == 0.0, rows
+    # external fragmentation: mid-size feasibility, Jigsaw vs TA
+    assert rows["jigsaw"]["fit 24n %"] >= rows["ta"]["fit 24n %"] - 5.0, rows

@@ -1,0 +1,21 @@
+"""Extension bench: measured interference slowdowns.
+
+Shape asserted: Jigsaw placements yield exactly 1.0 slowdown for every
+pattern (interference-freedom is structural); Baseline placements show
+measurable slowdown under the heavier patterns, grounding the paper's
+speed-up scenarios."""
+
+from repro.experiments import figslowdown
+
+
+def bench_slowdown(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: figslowdown.slowdown_comparison(), rounds=1, iterations=1
+    )
+    save_result("fig_slowdown", figslowdown.render(rows))
+
+    for key, row in rows.items():
+        if key.startswith("jigsaw/"):
+            assert row["max slowdown"] == 1.0, (key, row)
+    baseline_heavy = rows["baseline/alltoall_sample"]
+    assert baseline_heavy["max slowdown"] > 1.0, rows

@@ -1,0 +1,17 @@
+"""Regenerate Table 1: characteristics of the job-queue traces."""
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: table1.table1_traces(scale=scale), rounds=1, iterations=1
+    )
+    save_result("table1_traces", table1.render(rows))
+    assert set(rows) == {
+        "Synth-16", "Synth-22", "Synth-28", "Thunder", "Atlas",
+        "Aug-Cab", "Sep-Cab", "Oct-Cab", "Nov-Cab",
+    }
+    # Every trace contains single-node jobs and respects Table 1's maxima.
+    for name, row in rows.items():
+        assert row["Max job nodes"] <= 1024 or name == "Atlas"

@@ -1,0 +1,25 @@
+"""Regenerate Table 2: instantaneous-utilization histogram on Thunder.
+
+Shape targets: Jigsaw reaches >= 98 % instantaneous utilization far more
+often than LaaS (whose padding makes it nearly unreachable), and TA
+spends much more of its time below 80 % than Jigsaw.
+"""
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: table2.table2_instantaneous(scale=scale), rounds=1, iterations=1
+    )
+    save_result("table2_instantaneous", table2.render(rows))
+
+    def frac(scheme, label):
+        total = sum(rows[scheme].values())
+        return rows[scheme][label] / total if total else 0.0
+
+    assert frac("jigsaw", ">=98") > frac("laas", ">=98"), rows
+    low = ("80-90", "60-80", "<=60")
+    ta_low = sum(frac("ta", b) for b in low)
+    jig_low = sum(frac("jigsaw", b) for b in low)
+    assert ta_low > jig_low, rows

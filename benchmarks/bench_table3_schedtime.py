@@ -1,0 +1,22 @@
+"""Regenerate Table 3: average scheduling time per job.
+
+Shape targets: TA, LaaS and Jigsaw land within roughly an order of
+magnitude of each other; LC+S is at least several times slower than
+Jigsaw everywhere and degrades with cluster size (Synth-28's 5488-node
+cluster is its worst case, as in the paper).
+"""
+
+from repro.experiments import table3
+
+
+def bench_table3(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: table3.table3_scheduling_time(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table3_schedtime", table3.render(rows))
+
+    for trace in table3.TABLE3_TRACES:
+        assert rows["lc+s"][trace] > 3 * rows["jigsaw"][trace], rows
+    assert rows["lc+s"]["Synth-28"] > rows["lc+s"]["Synth-16"], rows

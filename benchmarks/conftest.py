@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper at
+a scaled job count (see DESIGN.md section 7), prints it, and saves the
+rendered text under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered experiment table and echo it to the terminal."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Job-count scale: None = bench defaults, REPRO_SCALE/FULL overrides."""
+    from repro.experiments.runner import default_scale
+
+    return default_scale()

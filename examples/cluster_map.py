@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Cluster map: watch placement shapes differ between schemes.
+
+Feeds the same job sequence to Jigsaw, LaaS and TA and draws the
+resulting node-ownership maps side by side — the paper's Figure 2 and
+Figure 3, live.  Look for:
+
+* **Jigsaw** — equal node counts per leaf plus one remainder leaf
+  (letters fill leaves evenly, one ragged edge per job);
+* **LaaS** — identical except jobs forced across pods occupy *whole*
+  leaves, padding included (no ragged edge, wasted cells);
+* **TA** — small jobs crammed into single leaves, mid jobs confined to
+  one pod, and leaves hosting a multi-leaf job closed to other multi
+  jobs (watch the free holes that nothing can use).
+
+Run:  python examples/cluster_map.py
+"""
+
+from repro import FatTree, make_allocator
+from repro.core.diagnostics import fragmentation_snapshot
+from repro.topology.render import job_symbols, render_occupancy
+
+JOB_SIZES = [5, 11, 3, 16, 9, 20, 2, 7, 13]
+
+
+def main() -> None:
+    tree = FatTree.from_radix(8)
+    print(f"cluster: {tree.describe()}")
+    print(f"job sizes, in arrival order: {JOB_SIZES}\n")
+
+    for scheme in ("jigsaw", "laas", "ta"):
+        allocator = make_allocator(scheme, tree)
+        placed, skipped = [], []
+        for jid, size in enumerate(JOB_SIZES, start=1):
+            if allocator.allocate(jid, size) is not None:
+                placed.append(jid)
+            else:
+                skipped.append((jid, size))
+        symbols = job_symbols(placed)
+        legend = "  ".join(
+            f"{symbols[j]}={JOB_SIZES[j - 1]}n" for j in placed
+        )
+        print(f"=== {scheme} ===   {legend}")
+        print(render_occupancy(allocator.state, symbols))
+        if skipped:
+            print(f"  could not place: {skipped}")
+        snap = fragmentation_snapshot(allocator, probe_sizes=[1, 8, 16, 32])
+        print(
+            f"  free {snap.free_nodes} nodes "
+            f"({snap.fully_free_leaves} full leaves, "
+            f"{snap.shard_nodes} shard nodes); "
+            f"padding {snap.padding_nodes}; "
+            f"largest placeable {snap.largest_placeable}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Interference study: measure what Jigsaw eliminates.
+
+The paper's motivation (section 2.2) is that network-oblivious
+scheduling lets jobs contend for links — communication-heavy benchmarks
+slow down by up to 120 % under static routing.  This script packs a
+cluster with jobs, drives a permutation traffic pattern inside every
+job, and measures link sharing under three routing regimes:
+
+1. **Baseline** — D-mod-k over the shared fabric: inter-job interference
+   and self-congestion both occur;
+2. **Jigsaw partitions, static routing** — inter-job interference is
+   exactly zero (isolation), but a job can still congest itself, which
+   is the *intra-job* interference that topology mapping addresses;
+3. **Jigsaw partitions, rearranged routing** — the constructive proof
+   of the paper's full-bandwidth theorem: one flow per link, slowdown
+   factor 1.0.
+
+Run:  python examples/interference_study.py
+"""
+
+import random
+
+from repro import FatTree, make_allocator
+from repro.routing.contention import contention_report
+
+JOB_SIZES = [5, 11, 20, 9, 16, 33, 7, 13]
+
+
+def main() -> None:
+    tree = FatTree.from_radix(8)
+    print(f"cluster: {tree.describe()}")
+
+    allocator = make_allocator("jigsaw", tree)
+    allocations = []
+    for jid, size in enumerate(JOB_SIZES, start=1):
+        alloc = allocator.allocate(jid, size)
+        if alloc is not None:
+            allocations.append(alloc)
+    placed = sum(a.size for a in allocations)
+    print(f"placed {len(allocations)} jobs, {placed}/{tree.num_nodes} nodes\n")
+
+    # The same node placements, three routing regimes.  (Baseline would
+    # place nodes differently, but using identical placements isolates
+    # the effect of routing and link ownership.)
+    regimes = {
+        "baseline D-mod-k (shared fabric)": dict(),
+        "jigsaw partitions, static routing": dict(use_partition_routing=True),
+        "jigsaw partitions, rearranged routing": dict(
+            use_partition_routing=True, rearranged=True
+        ),
+    }
+    for seed in (1, 2):
+        print(f"=== permutation traffic, seed {seed} ===")
+        for label, kwargs in regimes.items():
+            report = contention_report(tree, allocations, seed=seed, **kwargs)
+            inter = sum(j.interfered_flows for j in report.jobs.values())
+            print(
+                f"  {label:40s} inter-job-interfered flows: {inter:3d}   "
+                f"worst link: {report.max_link_sharing} flows   "
+                f"mean slowdown: {report.mean_slowdown:4.2f}x"
+            )
+        print()
+
+    print(
+        "Isolation removes every inter-job conflict; the rearranged\n"
+        "routing shows the partitions really do have full interconnect\n"
+        "bandwidth (Theorem 6): any permutation, one flow per link."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a synthetic workload with and without isolation.
+
+Builds the paper's 1024-node cluster (radix-16 full fat-tree), generates
+a Synth-16-style trace, and compares the traditional Baseline scheduler
+against Jigsaw: utilization, turnaround, makespan, and scheduling time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FatTree, Simulator, make_allocator
+from repro.sched.speedup import apply_scenario
+from repro.traces import synthetic_trace
+
+
+def main() -> None:
+    tree = FatTree.from_radix(16)
+    print(f"cluster: {tree.describe()}")
+
+    trace = synthetic_trace(mean_size=16, num_jobs=800, seed=1,
+                            max_size=tree.num_nodes)
+    print(f"workload: {len(trace)} jobs, "
+          f"max {trace.stats().max_job_nodes} nodes\n")
+
+    # Assume jobs larger than four nodes run 10 % faster when their
+    # network partition is interference-free (the paper's 10 % scenario).
+    apply_scenario(trace.jobs, "10%")
+
+    for scheme in ("baseline", "jigsaw"):
+        result = Simulator(make_allocator(scheme, tree)).run(trace)
+        print(result.summary())
+
+    print(
+        "\nJigsaw trades a few utilization points for guaranteed network\n"
+        "isolation; with even modest isolation speed-ups it matches or\n"
+        "beats traditional scheduling on turnaround and makespan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Utilization study: a miniature Figure 6.
+
+Runs all five scheduling schemes from the paper over a chosen trace and
+prints the utilization comparison plus each scheme's instantaneous-
+utilization histogram (the Table 2 view).
+
+Run:  python examples/utilization_study.py [trace-name]
+      (default Synth-16; any of the nine paper traces works)
+"""
+
+import sys
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import ALL_TRACE_NAMES, paper_setup, run_scheme
+
+SCHEMES = ("baseline", "lc+s", "jigsaw", "laas", "ta")
+
+
+def main(trace_name: str = "Synth-16") -> None:
+    if trace_name not in ALL_TRACE_NAMES:
+        raise SystemExit(f"unknown trace {trace_name!r}; pick from {ALL_TRACE_NAMES}")
+    setup = paper_setup(trace_name, scale=0.01)
+    print(f"trace: {setup.trace.name} ({len(setup.trace)} jobs) "
+          f"on {setup.tree.num_nodes} nodes\n")
+
+    rows = {}
+    hists = {}
+    for scheme in SCHEMES:
+        result = run_scheme(setup, scheme)
+        rows[scheme] = {
+            "utilization %": result.steady_state_utilization,
+            "makespan (h)": result.makespan / 3600,
+            "sched ms/job": result.mean_sched_time_per_job * 1e3,
+        }
+        hists[scheme] = result.instant.as_row()
+
+    print(render_table(
+        f"Scheme comparison on {trace_name}",
+        rows,
+        ["utilization %", "makespan (h)", "sched ms/job"],
+        row_header="Scheme",
+    ))
+    print()
+    print(render_table(
+        "Instantaneous utilization histogram (event samples per range)",
+        hists,
+        list(next(iter(hists.values()))),
+        row_header="Scheme",
+    ))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2] or ["Synth-16"])

@@ -1,0 +1,64 @@
+"""Reproduction of *Jigsaw: A High-Utilization, Interference-Free Job
+Scheduler for Fat-Tree Clusters* (Smith & Lowenthal, HPDC 2021).
+
+Public API highlights:
+
+* :class:`repro.FatTree` — the paper's full three-level fat-tree clusters.
+* :func:`repro.make_allocator` — build any of the five evaluated schemes
+  (``jigsaw``, ``laas``, ``ta``, ``lc+s``, ``baseline``).
+* :class:`repro.Simulator` — trace-driven scheduler simulation with EASY
+  backfilling and the paper's metrics.
+* :mod:`repro.traces` — the paper's synthetic and LLNL-like workloads.
+* :mod:`repro.experiments` — regenerate every table and figure.
+
+Quickstart::
+
+    from repro import FatTree, make_allocator, Simulator
+    from repro.traces import synthetic_trace
+
+    tree = FatTree.from_radix(16)           # 1024 nodes
+    trace = synthetic_trace(mean_size=16, num_jobs=500, seed=1)
+    sim = Simulator(make_allocator("jigsaw", tree))
+    result = sim.run(trace)
+    print(result.steady_state_utilization)
+"""
+
+from repro.core import (
+    ALLOCATOR_NAMES,
+    Allocation,
+    Allocator,
+    BaselineAllocator,
+    JigsawAllocator,
+    LaaSAllocator,
+    LeastConstrainedAllocator,
+    TopologyAwareAllocator,
+    make_allocator,
+)
+from repro.topology import ClusterState, FatTree, XGFT
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALLOCATOR_NAMES",
+    "Allocation",
+    "Allocator",
+    "BaselineAllocator",
+    "ClusterState",
+    "FatTree",
+    "JigsawAllocator",
+    "LaaSAllocator",
+    "LeastConstrainedAllocator",
+    "Simulator",
+    "TopologyAwareAllocator",
+    "XGFT",
+    "make_allocator",
+    "__version__",
+]
+
+
+def __getattr__(name):  # lazy import to avoid heavy modules at import time
+    if name == "Simulator":
+        from repro.sched.simulator import Simulator
+
+        return Simulator
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,241 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    jigsaw-repro table1
+    jigsaw-repro fig6 --traces Synth-16 Aug-Cab
+    jigsaw-repro fig7 --scale 0.05
+    jigsaw-repro table3
+    jigsaw-repro simulate --trace Synth-16 --scheme jigsaw
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import fig6, fig7, fig8, table1, table2, table3
+from repro.experiments.runner import (
+    ALL_TRACE_NAMES,
+    default_scale,
+    paper_setup,
+    run_scheme,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="fraction of the paper's job counts (default: bench-sized "
+        "counts; overrides REPRO_SCALE)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _scale(args) -> Optional[float]:
+    return args.scale if args.scale is not None else default_scale()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to one artifact command."""
+    parser = argparse.ArgumentParser(
+        prog="jigsaw-repro",
+        description="Reproduce the evaluation of the Jigsaw scheduler "
+        "(Smith & Lowenthal, HPDC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="trace characteristics")
+    _add_common(p)
+
+    p = sub.add_parser("fig6", help="average system utilization")
+    _add_common(p)
+    p.add_argument("--traces", nargs="+", default=list(ALL_TRACE_NAMES),
+                   choices=ALL_TRACE_NAMES)
+
+    p = sub.add_parser("table2", help="instantaneous utilization histogram")
+    _add_common(p)
+    p.add_argument("--trace", default="Thunder", choices=ALL_TRACE_NAMES)
+
+    p = sub.add_parser("fig7", help="normalized turnaround times")
+    _add_common(p)
+    p.add_argument("--traces", nargs="+", default=list(fig7.FIG7_TRACES),
+                   choices=ALL_TRACE_NAMES)
+
+    p = sub.add_parser("fig8", help="normalized makespans")
+    _add_common(p)
+    p.add_argument("--traces", nargs="+", default=list(fig8.FIG8_TRACES),
+                   choices=ALL_TRACE_NAMES)
+
+    p = sub.add_parser("table3", help="scheduling time per job")
+    _add_common(p)
+
+    p = sub.add_parser("simulate", help="run one trace under one scheme")
+    _add_common(p)
+    p.add_argument("--trace", required=True, choices=ALL_TRACE_NAMES)
+    p.add_argument("--scheme", required=True,
+                   choices=["baseline", "jigsaw", "laas", "ta", "lc+s", "lc"])
+    p.add_argument("--scenario", default=None,
+                   help="job-performance scenario (none/5%%/10%%/20%%/v2/random)")
+
+    p = sub.add_parser(
+        "frag",
+        help="fragmentation snapshot of a packed cluster under one scheme",
+    )
+    _add_common(p)
+    p.add_argument("--scheme", default="jigsaw",
+                   choices=["baseline", "jigsaw", "laas", "ta", "lc+s", "lc"])
+    p.add_argument("--radix", type=int, default=16)
+    p.add_argument("--occupancy", type=float, default=0.85,
+                   help="target fill fraction before the snapshot")
+
+    p = sub.add_parser(
+        "contention",
+        help="inter-job interference report under three routing regimes",
+    )
+    _add_common(p)
+    p.add_argument("--radix", type=int, default=8)
+    p.add_argument("--jobs", type=int, nargs="+",
+                   default=[5, 11, 20, 9, 16, 33])
+
+    p = sub.add_parser(
+        "check",
+        help="fast self-check: do the paper's headline claims reproduce?",
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "campaign",
+        help="persistent, resumable sweep (for full-scale reruns)",
+    )
+    _add_common(p)
+    p.add_argument("--out", required=True, help="JSON results file")
+    p.add_argument("--traces", nargs="+", default=["Synth-16"],
+                   choices=ALL_TRACE_NAMES)
+    p.add_argument("--schemes", nargs="+",
+                   default=["baseline", "jigsaw", "laas", "ta"],
+                   choices=["baseline", "jigsaw", "laas", "ta", "lc+s", "lc"])
+    p.add_argument("--scenarios", nargs="+", default=["none"])
+    p.add_argument("--metric", default="steady_state_utilization")
+
+    args = parser.parse_args(argv)
+    scale = _scale(args)
+
+    if args.command == "table1":
+        print(table1.render(table1.table1_traces(scale=scale, seed=args.seed)))
+    elif args.command == "fig6":
+        rows = fig6.fig6_utilization(names=args.traces, scale=scale,
+                                     seed=args.seed)
+        print(fig6.render(rows))
+        from repro.experiments.report import render_bars
+
+        for trace_name, by_scheme in rows.items():
+            print()
+            print(render_bars(f"{trace_name} utilization (%)", by_scheme,
+                              lo=60.0, hi=100.0))
+    elif args.command == "table2":
+        print(table2.render(table2.table2_instantaneous(
+            trace_name=args.trace, scale=scale, seed=args.seed)))
+    elif args.command == "fig7":
+        print(fig7.render(fig7.fig7_turnaround(
+            trace_names=args.traces, scale=scale, seed=args.seed)))
+    elif args.command == "fig8":
+        print(fig8.render(fig8.fig8_makespan(
+            trace_names=args.traces, scale=scale, seed=args.seed)))
+    elif args.command == "table3":
+        print(table3.render(table3.table3_scheduling_time(
+            scale=scale, seed=args.seed)))
+    elif args.command == "simulate":
+        setup = paper_setup(args.trace, scale=scale, seed=args.seed)
+        result = run_scheme(setup, args.scheme, scenario=args.scenario,
+                            seed=args.seed)
+        print(result.summary())
+        print("instantaneous histogram:", result.instant.as_row())
+        from repro.experiments.report import render_sparkline
+        from repro.sched.metrics import utilization_timeline
+
+        series = [u for _, u in utilization_timeline(result, buckets=60)]
+        print(f"utilization timeline: |{render_sparkline(series)}|")
+    elif args.command == "frag":
+        _frag_command(args)
+    elif args.command == "contention":
+        _contention_command(args)
+    elif args.command == "check":
+        from repro.experiments.check import render as render_check
+        from repro.experiments.check import run_checks
+
+        results = run_checks(scale=scale or 0.01)
+        print(render_check(results))
+        return 0 if all(r.passed for r in results) else 1
+    elif args.command == "campaign":
+        from repro.experiments.campaign import Campaign
+
+        campaign = Campaign(args.out, scale=scale)
+        campaign.run(
+            traces=args.traces,
+            schemes=args.schemes,
+            scenarios=args.scenarios,
+            seeds=(args.seed,),
+            progress=True,
+        )
+        for scenario in args.scenarios:
+            print(campaign.table(metric=args.metric, scenario=scenario,
+                                 seed=args.seed))
+        print(f"(total simulated wall time: "
+              f"{campaign.total_wall_seconds:.0f}s; results in {args.out})")
+    return 0
+
+
+def _frag_command(args) -> None:
+    import random
+
+    from repro.core.diagnostics import fragmentation_snapshot
+    from repro.core.registry import make_allocator
+    from repro.topology.fattree import FatTree
+    from repro.topology.render import render_free_summary
+
+    tree = FatTree.from_radix(args.radix)
+    allocator = make_allocator(args.scheme, tree)
+    rng = random.Random(args.seed)
+    jid = 0
+    sizes = [1, 3, 5, 8, 13, 20, 33, 48, 70]
+    while allocator.free_nodes > (1 - args.occupancy) * tree.num_nodes:
+        jid += 1
+        if allocator.allocate(jid, rng.choice(sizes)) is None:
+            break
+    print(f"cluster: {tree.describe()}  scheme: {args.scheme}\n")
+    print(fragmentation_snapshot(allocator).summary())
+    print("\nper-pod free capacity:")
+    print(render_free_summary(allocator.state))
+
+
+def _contention_command(args) -> None:
+    from repro.core.registry import make_allocator
+    from repro.routing.contention import contention_report
+    from repro.topology.fattree import FatTree
+
+    tree = FatTree.from_radix(args.radix)
+    allocator = make_allocator("jigsaw", tree)
+    allocations = []
+    for jid, size in enumerate(args.jobs, start=1):
+        alloc = allocator.allocate(jid, size)
+        if alloc is not None:
+            allocations.append(alloc)
+    print(f"cluster: {tree.describe()}, {len(allocations)} jobs placed\n")
+    for label, kwargs in (
+        ("baseline D-mod-k", {}),
+        ("jigsaw partitions (static)", dict(use_partition_routing=True)),
+        ("jigsaw partitions (rearranged)",
+         dict(use_partition_routing=True, rearranged=True)),
+    ):
+        report = contention_report(tree, allocations, seed=args.seed, **kwargs)
+        print(f"--- {label} ---")
+        print(report.summary())
+        print()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution and every scheme it is compared to.
+
+* :mod:`repro.core.shapes` — enumeration of the legal allocation shapes
+  ``(T, nT, LT, nL, nrT, LrT, nrL)`` of section 3.2.2, conditions (1)-(3).
+* :mod:`repro.core.conditions` — executable validator for all formal
+  conditions (the lemmas of Appendix A).
+* :mod:`repro.core.jigsaw` — the Jigsaw allocator (Algorithm 1).
+* :mod:`repro.core.laas`, :mod:`repro.core.ta`, :mod:`repro.core.lcs`,
+  :mod:`repro.core.baseline` — the comparison schemes of section 5.2.
+"""
+
+from repro.core.allocator import Allocation, Allocator
+from repro.core.baseline import BaselineAllocator
+from repro.core.diagnostics import (
+    FragmentationSnapshot,
+    compare_fragmentation,
+    fragmentation_snapshot,
+)
+from repro.core.jigsaw import JigsawAllocator
+from repro.core.laas import LaaSAllocator
+from repro.core.lcs import LeastConstrainedAllocator
+from repro.core.registry import make_allocator, ALLOCATOR_NAMES
+from repro.core.shapes import (
+    ThreeLevelShape,
+    TwoLevelShape,
+    three_level_shapes,
+    two_level_shapes,
+)
+from repro.core.ta import TopologyAwareAllocator
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "BaselineAllocator",
+    "JigsawAllocator",
+    "LaaSAllocator",
+    "LeastConstrainedAllocator",
+    "TopologyAwareAllocator",
+    "TwoLevelShape",
+    "ThreeLevelShape",
+    "two_level_shapes",
+    "three_level_shapes",
+    "make_allocator",
+    "ALLOCATOR_NAMES",
+    "FragmentationSnapshot",
+    "fragmentation_snapshot",
+    "compare_fragmentation",
+]

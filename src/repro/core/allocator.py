@@ -1,0 +1,198 @@
+"""Allocator interface and the :class:`Allocation` result type.
+
+Every scheduling scheme in the paper's evaluation is an
+:class:`Allocator`: given a job size it either finds a placement that
+satisfies the scheme's conditions — claiming the nodes (and, for the
+link-isolating schemes, the links) in the shared
+:class:`~repro.topology.state.ClusterState` — or reports that no legal
+placement currently exists.  The discrete-event simulator in
+:mod:`repro.sched` drives allocators through exactly this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.shapes import ThreeLevelShape, TwoLevelShape
+from repro.topology.fattree import LinkId, SpineLinkId, XGFT
+from repro.topology.state import ClusterState
+
+Shape = Union[TwoLevelShape, ThreeLevelShape, None]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One job's placement: nodes, links, and the shape that produced it.
+
+    ``nodes`` may exceed ``size`` for schemes with internal node
+    fragmentation (LaaS rounds jobs up to whole leaves); utilization
+    accounting always uses ``size`` — the padding is precisely the
+    fragmentation the paper charges against LaaS (Table 2 discussion).
+    """
+
+    job_id: int
+    size: int
+    nodes: Tuple[int, ...]
+    leaf_links: Tuple[LinkId, ...] = ()
+    spine_links: Tuple[SpineLinkId, ...] = ()
+    shape: Shape = None
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < self.size:
+            raise ValueError(
+                f"allocation for job {self.job_id} has {len(self.nodes)} nodes "
+                f"but the job requested {self.size}"
+            )
+
+    @property
+    def padding(self) -> int:
+        """Nodes assigned beyond the request (internal fragmentation)."""
+        return len(self.nodes) - self.size
+
+    def leaf_node_counts(self, tree: XGFT) -> Dict[int, int]:
+        """Map of leaf index to number of allocated nodes on that leaf."""
+        counts: Dict[int, int] = {}
+        for n in self.nodes:
+            leaf = n // tree.m1
+            counts[leaf] = counts.get(leaf, 0) + 1
+        return counts
+
+
+@dataclass
+class AllocatorStats:
+    """Counters every allocator maintains; feeds Table 3 and diagnostics."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    releases: int = 0
+    #: cumulative wall-clock seconds inside allocate()/release()
+    alloc_seconds: float = 0.0
+    #: successes broken down by allocation level
+    two_level: int = 0
+    three_level: int = 0
+
+    def record(self, success: bool, seconds: float) -> None:
+        self.attempts += 1
+        self.alloc_seconds += seconds
+        if success:
+            self.successes += 1
+        else:
+            self.failures += 1
+
+
+class Allocator(ABC):
+    """Base class for all scheduling schemes.
+
+    Subclasses implement :meth:`_search`, returning an
+    :class:`Allocation` without touching state; the base class handles
+    claiming, releasing, statistics, and the public API.
+    """
+
+    #: short scheme name, e.g. ``"jigsaw"`` — set by each subclass
+    name: str = "abstract"
+    #: whether the scheme guarantees inter-job network isolation
+    isolating: bool = True
+    #: whether jobs run at their isolated (sped-up) run time under this
+    #: scheme; true for every isolating scheme and for LC+S (negligible
+    #: interference), false only for Baseline
+    low_interference: bool = True
+
+    def __init__(self, tree: XGFT):
+        self.tree = tree
+        self.state = ClusterState(tree)
+        self.stats = AllocatorStats()
+        self.allocations: Dict[int, Allocation] = {}
+
+    # ------------------------------------------------------------------
+    # Public API used by the simulator
+    # ------------------------------------------------------------------
+    def allocate(
+        self, job_id: int, size: int, bw_need: Optional[float] = None
+    ) -> Optional[Allocation]:
+        """Try to place a ``size``-node job; claim resources on success.
+
+        ``bw_need`` is the job's average per-link bandwidth requirement in
+        GB/s; only the link-sharing scheme (LC+S) uses it, and the paper
+        stresses that real schedulers do not have this information.
+        """
+        import time
+
+        if size < 1:
+            raise ValueError("job size must be positive")
+        if job_id in self.allocations:
+            raise ValueError(f"job {job_id} is already allocated")
+        t0 = time.perf_counter()
+        alloc: Optional[Allocation] = None
+        if size <= self.state.free_nodes_total:
+            alloc = self._search(job_id, size, bw_need)
+        if alloc is not None:
+            self._claim(alloc, bw_need)
+            self.allocations[job_id] = alloc
+            if isinstance(alloc.shape, ThreeLevelShape):
+                self.stats.three_level += 1
+            else:
+                self.stats.two_level += 1
+        self.stats.record(alloc is not None, time.perf_counter() - t0)
+        return alloc
+
+    def can_allocate(self, size: int, bw_need: Optional[float] = None) -> bool:
+        """Whether a ``size``-node job could be placed *right now*.
+
+        A hypothetical probe: runs the same search as :meth:`allocate`
+        but claims nothing and records nothing in the statistics (so
+        Table 3's scheduling times are not polluted by diagnostics).
+        """
+        if size < 1:
+            raise ValueError("job size must be positive")
+        if size > self.state.free_nodes_total:
+            return False
+        return self._search(-1, size, bw_need) is not None
+
+    def release(self, job_id: int) -> None:
+        """Return a finished job's resources to the free pool."""
+        import time
+
+        t0 = time.perf_counter()
+        if job_id not in self.allocations:
+            raise ValueError(f"job {job_id} is not allocated")
+        del self.allocations[job_id]
+        self._release(job_id)
+        self.stats.releases += 1
+        self.stats.alloc_seconds += time.perf_counter() - t0
+
+    def effective_size(self, size: int) -> int:
+        """Nodes a ``size``-node job actually consumes under this scheme.
+
+        Used by EASY backfilling's shadow-time estimate.  Only LaaS
+        (whole-leaf rounding) overrides this.
+        """
+        return size
+
+    @property
+    def free_nodes(self) -> int:
+        return self.state.free_nodes_total
+
+    @property
+    def busy_requested_nodes(self) -> int:
+        """Nodes doing requested work (excludes LaaS padding)."""
+        return sum(a.size for a in self.allocations.values())
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _search(
+        self, job_id: int, size: int, bw_need: Optional[float]
+    ) -> Optional[Allocation]:
+        """Find a placement without mutating state, or return None."""
+
+    def _claim(self, alloc: Allocation, bw_need: Optional[float]) -> None:
+        self.state.claim(
+            alloc.job_id, alloc.nodes, alloc.leaf_links, alloc.spine_links
+        )
+
+    def _release(self, job_id: int) -> None:
+        self.state.release(job_id)

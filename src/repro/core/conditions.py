@@ -1,0 +1,202 @@
+"""Executable form of the paper's formal allocation conditions.
+
+Section 3.2.2 (proved necessary and sufficient in Appendix A) constrains
+how an interference-free, full-bandwidth partition may be laid out:
+
+1. nodes are evenly distributed across ``T`` subtrees plus an optional
+   smaller remainder subtree (Lemma 2);
+2. within each subtree, nodes are evenly distributed across leaves, with
+   a single optional remainder leaf (Lemma 1);
+3. the remainder leaf lives in the remainder subtree (Lemma 3);
+4. within a subtree, all full leaves connect to a common L2 set ``S``
+   and the remainder leaf to ``Sr ⊆ S`` (Lemma 4);
+5. every subtree uses the same L2 *indices* ``S`` (Lemma 6);
+6. the ``i``-th L2 switch of every subtree connects to a common spine
+   set ``S*_i``, the remainder subtree to ``S*r_i ⊆ S*_i`` (Lemma 5/6);
+
+plus up/down link balance at every switch, and (for high utilization)
+``N = Nr`` — exactly the requested node count.
+
+:func:`check_allocation` evaluates all of these against a concrete
+:class:`~repro.core.allocator.Allocation` and returns a list of
+violation strings (empty = legal).  It is the oracle for the property
+tests, and an independent re-derivation of the structure — it does *not*
+trust the ``shape`` the allocator attached.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from repro.core.allocator import Allocation
+from repro.topology.fattree import XGFT
+
+
+class ConditionViolation(AssertionError):
+    """Raised by :func:`assert_valid` when an allocation is illegal."""
+
+
+def check_allocation(
+    tree: XGFT, alloc: Allocation, exact_nodes: bool = True
+) -> List[str]:
+    """Return every way ``alloc`` violates the formal conditions.
+
+    ``exact_nodes=False`` skips the high-utilization condition
+    ``N == Nr`` (LaaS intentionally violates it by rounding up).
+    """
+    v: List[str] = []
+    if exact_nodes and len(alloc.nodes) != alloc.size:
+        v.append(
+            f"N != Nr: job asked for {alloc.size} nodes, got {len(alloc.nodes)}"
+        )
+    if len(set(alloc.nodes)) != len(alloc.nodes):
+        v.append("duplicate nodes")
+        return v
+
+    # ------------------------------------------------------------------
+    # Structure: nodes per leaf and per pod
+    # ------------------------------------------------------------------
+    per_leaf: Dict[int, int] = defaultdict(int)
+    for n in alloc.nodes:
+        per_leaf[n // tree.m1] += 1
+    per_pod: Dict[int, int] = defaultdict(int)
+    for leaf, cnt in per_leaf.items():
+        per_pod[leaf // tree.m2] += cnt
+
+    leaf_counts = sorted(per_leaf.values(), reverse=True)
+    pod_counts = sorted(per_pod.values(), reverse=True)
+
+    # Conditions (1)-(3): equal counts with at most one smaller remainder.
+    nL = leaf_counts[0]
+    rem_leaves = [leaf for leaf, c in per_leaf.items() if c != nL]
+    if len(rem_leaves) > 1:
+        v.append(f"more than one remainder leaf: counts {leaf_counts}")
+    nT = pod_counts[0]
+    rem_pods = [pod for pod, c in per_pod.items() if c != nT]
+    if len(rem_pods) > 1:
+        v.append(f"more than one remainder subtree: counts {pod_counts}")
+    if rem_leaves and len(per_pod) > 1:
+        rem_leaf_pod = rem_leaves[0] // tree.m2
+        if not rem_pods:
+            v.append("remainder leaf present but all subtrees have equal counts")
+        elif rem_leaf_pod != rem_pods[0]:
+            v.append(
+                f"remainder leaf in pod {rem_leaf_pod}, but the remainder "
+                f"subtree is pod {rem_pods[0]}"
+            )
+    if v:
+        return v
+
+    single_leaf = len(per_leaf) == 1
+    single_pod = len(per_pod) == 1
+    rem_leaf = rem_leaves[0] if rem_leaves else None
+    rem_pod = rem_pods[0] if rem_pods else None
+
+    # ------------------------------------------------------------------
+    # Leaf links: balance and common S / Sr ⊆ S  (condition 4, 5)
+    # ------------------------------------------------------------------
+    links_by_leaf: Dict[int, Set[int]] = defaultdict(set)
+    for leaf, i in alloc.leaf_links:
+        if i in links_by_leaf[leaf]:
+            v.append(f"duplicate leaf link ({leaf}, {i})")
+        links_by_leaf[leaf].add(i)
+
+    if single_leaf:
+        if alloc.leaf_links or alloc.spine_links:
+            v.append("single-leaf allocation should not hold any links")
+        return v
+
+    for leaf, cnt in per_leaf.items():
+        got = len(links_by_leaf.get(leaf, ()))
+        if got != cnt:
+            v.append(
+                f"leaf {leaf} up/down imbalance: {cnt} nodes but {got} uplinks"
+            )
+    for leaf in links_by_leaf:
+        if leaf not in per_leaf:
+            v.append(f"leaf {leaf} holds links but no nodes")
+    if v:
+        return v
+
+    full_leaf_sets = {
+        frozenset(links_by_leaf[leaf]) for leaf in per_leaf if leaf != rem_leaf
+    }
+    if len(full_leaf_sets) > 1:
+        v.append(f"full leaves use different L2 sets: {sorted(map(sorted, full_leaf_sets))}")
+        return v
+    s_set: Set[int] = set(next(iter(full_leaf_sets))) if full_leaf_sets else set()
+    if rem_leaf is not None:
+        sr_set = links_by_leaf[rem_leaf]
+        if full_leaf_sets and not sr_set <= s_set:
+            v.append(f"remainder leaf L2 set {sorted(sr_set)} not a subset of S {sorted(s_set)}")
+    else:
+        sr_set = set()
+    if not full_leaf_sets:
+        s_set = set(sr_set)  # allocation is a lone remainder leaf per pod
+
+    # ------------------------------------------------------------------
+    # Spine links: balance and common S*_i / subsets  (condition 6)
+    # ------------------------------------------------------------------
+    spines_by_pod_i: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+    for pod, i, j in alloc.spine_links:
+        if j in spines_by_pod_i[(pod, i)]:
+            v.append(f"duplicate spine link ({pod}, {i}, {j})")
+        spines_by_pod_i[(pod, i)].add(j)
+
+    if single_pod:
+        if alloc.spine_links:
+            v.append("single-subtree allocation should not hold spine links")
+        return v
+
+    # Down-link count into L2 switch i of each pod: one per full leaf in
+    # the pod, plus one if the remainder leaf connects to i.
+    full_leaves_in_pod: Dict[int, int] = defaultdict(int)
+    for leaf in per_leaf:
+        if leaf != rem_leaf:
+            full_leaves_in_pod[leaf // tree.m2] += 1
+    for pod in per_pod:
+        for i in range(tree.l2_per_pod):
+            down = full_leaves_in_pod.get(pod, 0) if i in s_set else 0
+            if rem_leaf is not None and rem_leaf // tree.m2 == pod and i in sr_set:
+                down += 1
+            up = len(spines_by_pod_i.get((pod, i), ()))
+            if up != down:
+                v.append(
+                    f"L2 switch (pod {pod}, index {i}) imbalance: "
+                    f"{down} downlinks vs {up} uplinks"
+                )
+    for pod, i in spines_by_pod_i:
+        if pod not in per_pod:
+            v.append(f"pod {pod} holds spine links but no nodes")
+    if v:
+        return v
+
+    for i in s_set:
+        star_sets = {
+            frozenset(spines_by_pod_i.get((pod, i), frozenset()))
+            for pod in per_pod
+            if pod != rem_pod
+        }
+        if len(star_sets) > 1:
+            v.append(f"full subtrees use different spine sets at L2 index {i}")
+            continue
+        s_star = next(iter(star_sets)) if star_sets else frozenset()
+        if rem_pod is not None:
+            rset = spines_by_pod_i.get((rem_pod, i), set())
+            if star_sets and not rset <= s_star:
+                v.append(
+                    f"remainder subtree spine set at L2 index {i} not a "
+                    f"subset of S*_{i}"
+                )
+    return v
+
+
+def assert_valid(tree: XGFT, alloc: Allocation, exact_nodes: bool = True) -> None:
+    """Raise :class:`ConditionViolation` listing every violated condition."""
+    violations = check_allocation(tree, alloc, exact_nodes=exact_nodes)
+    if violations:
+        raise ConditionViolation(
+            f"allocation for job {alloc.job_id} violates the formal "
+            f"conditions:\n- " + "\n- ".join(violations)
+        )

@@ -1,0 +1,577 @@
+"""The Jigsaw allocator — Algorithm 1 of the paper.
+
+Jigsaw first looks for a **two-level** (single-subtree) allocation: for
+each legal shape ``LT * nL + nrL = size`` it scans the pods, and inside a
+pod runs a recursive-backtracking search (``find_L2``) for ``LT`` leaves
+that each have ``nL`` free nodes *and* ``nL`` free uplinks to a common
+set ``S`` of L2 switches, plus an optional remainder leaf reaching a
+subset ``Sr ⊆ S``.
+
+If no subtree can host the job, Jigsaw looks for a **three-level**
+allocation.  Here it applies its one restriction beyond the formal
+conditions (section 4): every non-remainder leaf is used *entirely*
+(``nL = m1``).  Full leaves connect to every L2 switch of their pod, so
+the per-pod sub-allocation is just "``LT`` completely-free leaves", and
+the cross-pod search (``find_L3``) backtracks over pods while
+maintaining, for every L2 index ``i``, the running intersection of free
+spine-link sets — the common spine sets ``S*_i`` of condition (6).
+
+Link-availability sets are bitmasks (see :mod:`repro.topology.state`), so
+the search inner loop is integer AND + popcount.
+
+The same engine serves LaaS (:mod:`repro.core.laas`): LaaS is exactly
+this search with job sizes rounded up to whole leaves, which is the
+reduction-to-two-levels described in section 5.2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.allocator import Allocation, Allocator
+from repro.core.shapes import (
+    Order,
+    ThreeLevelShape,
+    TwoLevelShape,
+    three_level_shapes_cached,
+    two_level_shapes_cached,
+)
+from repro.topology.fattree import LinkId, SpineLinkId, XGFT
+from repro.topology.state import indices_of, lowest_bits
+
+
+class JigsawAllocator(Allocator):
+    """Interference-free allocator with precise three-level conditions.
+
+    Parameters
+    ----------
+    tree:
+        Topology to allocate on.
+    order:
+        Factorization ordering for the shape enumeration; ``"dense"``
+        (default) tries shapes touching the fewest leaves/pods first.
+        The ordering ablation benchmark flips this.
+    """
+
+    name = "jigsaw"
+    isolating = True
+
+    #: backtracking-step ceiling per allocation attempt; generous enough
+    #: that Jigsaw never hits it in practice (its search space is small —
+    #: that is the point of the full-leaf restriction), but it bounds
+    #: pathological states and is tightened by the LC+S subclass to model
+    #: the paper's per-job scheduling timeout.
+    step_budget: int = 5_000_000
+
+    def __init__(
+        self, tree: XGFT, order: Order = "dense", strategy: str = "scored"
+    ):
+        super().__init__(tree)
+        self.order: Order = order
+        if strategy not in ("scored", "first"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self._steps_left = self.step_budget
+
+    class BudgetExhausted(Exception):
+        """Raised internally when a search exceeds its step budget."""
+
+    def _tick(self) -> None:
+        """Account one backtracking step; abort the search when spent."""
+        self._steps_left -= 1
+        if self._steps_left <= 0:
+            raise self.BudgetExhausted()
+
+    # ------------------------------------------------------------------
+    # Shape enumeration hooks (overridden by LaaS)
+    # ------------------------------------------------------------------
+    def _two_level_shape_iter(self, size: int) -> Iterator[TwoLevelShape]:
+        return two_level_shapes_cached(
+            size, self.tree.m1, self.tree.m2, self.order
+        )
+
+    def _three_level_shape_iter(self, size: int) -> Iterator[ThreeLevelShape]:
+        return three_level_shapes_cached(
+            size,
+            self.tree.m1,
+            self.tree.m2,
+            self.tree.m3,
+            self.order,
+            True,
+        )
+
+    # ------------------------------------------------------------------
+    # get_allocation (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _search(
+        self, job_id: int, size: int, bw_need: Optional[float]
+    ) -> Optional[Allocation]:
+        alloc_size = self.effective_size(size)
+        if alloc_size > self.state.free_nodes_total:
+            return None
+        self._steps_left = self.step_budget
+        try:
+            # Look for a single-subtree allocation first.
+            found = self._search_two_level(alloc_size)
+            if found is not None:
+                shape, solution = found
+                return self._build_two_level(job_id, size, shape, *solution)
+            # Look for a three-level allocation if two-level failed.
+            for shape in self._three_level_shape_iter(alloc_size):
+                found3 = self._find_three_level(shape)
+                if found3 is not None:
+                    return self._build_three_level(job_id, size, shape, *found3)
+        except self.BudgetExhausted:
+            return None  # the paper's per-job scheduling timeout (LC+S)
+        return None
+
+    def _search_two_level(self, alloc_size: int):
+        """Find a single-subtree placement, returning ``(shape, solution)``.
+
+        With ``strategy="first"`` this is Algorithm 1 verbatim: the first
+        pod hosting the first legal shape wins.  With ``strategy="scored"``
+        (the default) every feasible (shape, pod) pair is scored by the
+        fragmentation it would leave behind — fully-free leaves broken,
+        free nodes stranded on the touched leaves — and the least harmful
+        placement wins.  The formal conditions admit every candidate
+        either way; scoring only chooses *among* legal placements, which
+        is exactly the freedom the paper argues precise conditions buy.
+        """
+        pod_free = self.state.pod_free
+        if self.strategy == "first":
+            for shape in self._two_level_shape_iter(alloc_size):
+                for pod in range(self.tree.num_pods):
+                    if pod_free[pod] < alloc_size:
+                        continue
+                    found = self._find_two_level_in_pod(pod, shape)
+                    if found is not None:
+                        return shape, found
+            return None
+        best = None  # (score, shape, solution)
+        for shape in self._two_level_shape_iter(alloc_size):
+            for pod in range(self.tree.num_pods):
+                if pod_free[pod] < alloc_size:
+                    continue
+                found = self._find_two_level_in_pod(pod, shape)
+                if found is None:
+                    continue
+                score = self._score_two_level(shape, found)
+                if best is None or score < best[0]:
+                    best = (score, shape, found)
+                    if score[:2] == (0, 0):
+                        return shape, found  # perfect fit, stop searching
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _score_two_level(self, shape: TwoLevelShape, found) -> tuple:
+        """Fragmentation cost of one candidate placement (lower is better):
+        (fully-free leaves broken into partial leaves, free nodes stranded
+        on the touched leaves, fully-free leaves consumed whole)."""
+        full_leaves, _s, rem_leaf, _sr = found
+        free = self.state.free_per_leaf
+        m1 = self.tree.m1
+        broken = 0
+        consumed = 0
+        residue = 0
+        for leaf in full_leaves:
+            f = int(free[leaf])
+            if f == m1:
+                if shape.nL == m1:
+                    consumed += 1
+                else:
+                    broken += 1
+            residue += f - shape.nL
+        if rem_leaf is not None:
+            f = int(free[rem_leaf])
+            if f == m1:
+                broken += 1
+            residue += f - shape.nrL
+        return (broken, residue, consumed)
+
+    # ------------------------------------------------------------------
+    # find_L2: search one pod for a two-level allocation
+    # ------------------------------------------------------------------
+    def _leaf_mask(self, leaf: int) -> int:
+        """Bitmask of this leaf's free uplinks (hook for LC variants)."""
+        return self.state.leaf_up_mask[leaf]
+
+    def _spine_mask(self, pod: int, i: int) -> int:
+        """Bitmask of free spine links at (pod, L2 i) (hook for LC)."""
+        return self.state.spine_free_mask[pod][i]
+
+    def _find_two_level_in_pod(
+        self, pod: int, shape: TwoLevelShape
+    ) -> Optional[Tuple[List[int], int, Optional[int], int]]:
+        """Find ``shape`` inside ``pod``.
+
+        Returns ``(full_leaves, S_mask, remainder_leaf, Sr_mask)`` or
+        ``None``.  ``S_mask`` is the common-L2-set bitmask of condition
+        (4); ``Sr_mask ⊆ S_mask`` is the remainder leaf's subset.
+        """
+        state = self.state
+        tree = self.tree
+        if state.pod_free[pod] < shape.size:
+            return None
+        free = state.free_leaf_counts_in_pod(pod)
+
+        # Whole job on one leaf: no links needed at all.
+        if shape.single_leaf:
+            leaf = self._pick_single_leaf(pod, shape.nL)
+            if leaf is None:
+                return None
+            return [leaf], 0, None, 0
+
+        base = tree.first_leaf_of_pod(pod)
+        # Best fit: try the leaves with the fewest (sufficient) free nodes
+        # first, so partial leaves fill up before fully-free leaves are
+        # broken — fully-free leaves are what three-level allocations need.
+        candidates = sorted(
+            (base + k for k in range(tree.m2) if free[k] >= shape.nL),
+            key=lambda leaf: (free[leaf - base], leaf),
+        )
+        if len(candidates) < shape.LT:
+            return None
+
+        chosen: List[int] = []
+
+        def backtrack(start: int, inter: int) -> Optional[Tuple[int, Optional[int], int]]:
+            if len(chosen) == shape.LT:
+                return self._finish_two_level(pod, shape, chosen, inter)
+            # Prune: not enough candidates left to complete the set.
+            for idx in range(start, len(candidates) - (shape.LT - len(chosen)) + 1):
+                self._tick()
+                leaf = candidates[idx]
+                ni = inter & self._leaf_mask(leaf)
+                if ni.bit_count() < shape.nL:
+                    continue
+                chosen.append(leaf)
+                result = backtrack(idx + 1, ni)
+                if result is not None:
+                    return result
+                chosen.pop()
+            return None
+
+        full_mask = (1 << tree.l2_per_pod) - 1
+        result = backtrack(0, full_mask)
+        if result is None:
+            return None
+        s_mask, rem_leaf, sr_mask = result
+        return list(chosen), s_mask, rem_leaf, sr_mask
+
+    def _pick_single_leaf(self, pod: int, n: int) -> Optional[int]:
+        """Best-fit leaf in ``pod`` with at least ``n`` free nodes."""
+        tree = self.tree
+        free = self.state.free_leaf_counts_in_pod(pod)
+        best: Optional[int] = None
+        best_free = tree.m1 + 1
+        for k in range(tree.m2):
+            f = int(free[k])
+            if n <= f < best_free:
+                best = tree.first_leaf_of_pod(pod) + k
+                best_free = f
+        return best
+
+    def _finish_two_level(
+        self, pod: int, shape: TwoLevelShape, chosen: Sequence[int], inter: int
+    ) -> Optional[Tuple[int, Optional[int], int]]:
+        """Complete a two-level solution: pick S and the remainder leaf."""
+        if shape.nrL == 0:
+            return lowest_bits(inter, shape.nL), None, 0
+        tree = self.tree
+        free = self.state.free_leaf_counts_in_pod(pod)
+        base = tree.first_leaf_of_pod(pod)
+        taken = set(chosen)
+        # Best fit: prefer the eligible leaf with the fewest free nodes,
+        # preserving emptier leaves for future jobs.
+        best: Optional[Tuple[int, int, int]] = None  # (free, leaf, avail_mask)
+        for k in range(tree.m2):
+            leaf = base + k
+            if leaf in taken:
+                continue
+            f = int(free[k])
+            if f < shape.nrL:
+                continue
+            avail = self._leaf_mask(leaf) & inter
+            if avail.bit_count() < shape.nrL:
+                continue
+            if best is None or f < best[0]:
+                best = (f, leaf, avail)
+        if best is None:
+            return None
+        _, rem_leaf, avail = best
+        sr_mask = lowest_bits(avail, shape.nrL)
+        # S contains Sr plus enough other common-free L2 indices.
+        s_mask = sr_mask
+        rest = inter & ~sr_mask
+        s_mask |= lowest_bits(rest, shape.nL - shape.nrL) if shape.nL > shape.nrL else 0
+        return s_mask, rem_leaf, sr_mask
+
+    # ------------------------------------------------------------------
+    # find_L3: cross-pod search
+    # ------------------------------------------------------------------
+    def _find_three_level(
+        self, shape: ThreeLevelShape
+    ) -> Optional[
+        Tuple[List[int], Optional[int], Optional[int], int, List[int], List[int]]
+    ]:
+        """Find ``shape`` across pods.
+
+        Returns ``(full_pods, remainder_pod, remainder_leaf, Sr_mask,
+        S_star, S_star_r)`` where ``S_star[i]`` is the spine bitmask
+        ``S*_i`` shared by all full pods and ``S_star_r[i] ⊆ S_star[i]``
+        is the remainder pod's subset (condition 6); or ``None``.
+        """
+        tree = self.tree
+        state = self.state
+        if shape.nL != tree.m1:
+            raise ValueError("Jigsaw three-level shapes must use full leaves")
+
+        candidates = [
+            p for p in range(tree.num_pods)
+            if state.full_free_leaves[p] >= shape.LT
+        ]
+        if len(candidates) < shape.T:
+            return None
+
+        n_i = tree.l2_per_pod
+        chosen: List[int] = []
+
+        def addable(pod: int, inter: List[int]) -> Optional[List[int]]:
+            ni = [inter[i] & self._spine_mask(pod, i) for i in range(n_i)]
+            for m in ni:
+                if m.bit_count() < shape.LT:
+                    return None
+            return ni
+
+        def backtrack(start: int, inter: List[int]):
+            if len(chosen) == shape.T:
+                return self._finish_three_level(shape, chosen, inter)
+            for idx in range(start, len(candidates) - (shape.T - len(chosen)) + 1):
+                self._tick()
+                pod = candidates[idx]
+                ni = addable(pod, inter)
+                if ni is None:
+                    continue
+                chosen.append(pod)
+                result = backtrack(idx + 1, ni)
+                if result is not None:
+                    return result
+                chosen.pop()
+            return None
+
+        full = (1 << tree.spines_per_group) - 1
+        result = backtrack(0, [full] * n_i)
+        if result is None:
+            return None
+        rem_pod, rem_leaf, sr_mask, s_star, s_star_r = result
+        return list(chosen), rem_pod, rem_leaf, sr_mask, s_star, s_star_r
+
+    def _finish_three_level(
+        self, shape: ThreeLevelShape, chosen: Sequence[int], inter: List[int]
+    ) -> Optional[
+        Tuple[Optional[int], Optional[int], int, List[int], List[int]]
+    ]:
+        """Find the remainder pod/leaf and fix the spine sets ``S*_i``."""
+        tree = self.tree
+        n_i = tree.l2_per_pod
+        if not shape.has_remainder_pod:
+            s_star = [lowest_bits(inter[i], shape.LT) for i in range(n_i)]
+            return None, None, 0, s_star, [0] * n_i
+
+        taken = set(chosen)
+        for rp in range(tree.num_pods):
+            if rp in taken:
+                continue
+            picked = self._fit_remainder_pod(shape, rp, inter)
+            if picked is None:
+                continue
+            rem_leaf, sr_mask, s_star, s_star_r = picked
+            return rp, rem_leaf, sr_mask, s_star, s_star_r
+        return None
+
+    def _fit_remainder_pod(
+        self, shape: ThreeLevelShape, rp: int, inter: List[int]
+    ) -> Optional[Tuple[Optional[int], int, List[int], List[int]]]:
+        """Check whether pod ``rp`` can be the remainder subtree."""
+        tree = self.tree
+        state = self.state
+        n_i = tree.l2_per_pod
+        if state.full_free_leaves[rp] < shape.LrT:
+            return None
+
+        # Spine availability seen from the remainder pod, restricted to
+        # the running common sets: the remainder subtree must use subsets
+        # S*r_i of the full pods' spine sets S*_i (condition 6).
+        avail = [inter[i] & self._spine_mask(rp, i) for i in range(n_i)]
+
+        rem_leaf: Optional[int] = None
+        sr_mask = 0
+        if shape.nrL:
+            # eligible_i: L2 indices where a remainder-leaf connection
+            # (one extra down-link, hence one extra up-link) still fits.
+            eligible = 0
+            for i in range(n_i):
+                if avail[i].bit_count() >= shape.LrT + 1:
+                    eligible |= 1 << i
+            picked = self._pick_remainder_leaf(shape, rp, eligible)
+            if picked is None:
+                return None
+            rem_leaf, sr_mask = picked
+        if shape.LrT:
+            for i in range(n_i):
+                need = shape.LrT + (1 if sr_mask & (1 << i) else 0)
+                if avail[i].bit_count() < need:
+                    return None
+
+        s_star: List[int] = []
+        s_star_r: List[int] = []
+        for i in range(n_i):
+            need_r = shape.LrT + (1 if sr_mask & (1 << i) else 0)
+            sr_i = lowest_bits(avail[i], need_r) if need_r else 0
+            rest = inter[i] & ~sr_i
+            s_i = sr_i | (
+                lowest_bits(rest, shape.LT - need_r) if shape.LT > need_r else 0
+            )
+            s_star.append(s_i)
+            s_star_r.append(sr_i)
+        return rem_leaf, sr_mask, s_star, s_star_r
+
+    def _pick_remainder_leaf(
+        self, shape: ThreeLevelShape, rp: int, eligible: int
+    ) -> Optional[Tuple[int, int]]:
+        """Best-fit remainder leaf in pod ``rp`` whose free uplinks allow
+        ``nrL`` connections at spine-eligible L2 indices."""
+        tree = self.tree
+        free = self.state.free_leaf_counts_in_pod(rp)
+        base = tree.first_leaf_of_pod(rp)
+        # The LrT full leaves are picked later from the fully-free pool;
+        # reserve them by preferring a *partially* free remainder leaf and
+        # requiring enough fully-free leaves to remain.
+        best: Optional[Tuple[int, int, int]] = None  # (free, leaf, sr_mask)
+        fully_free = int(self.state.full_free_leaves[rp])
+        for k in range(tree.m2):
+            f = int(free[k])
+            if f < shape.nrL:
+                continue
+            if f == tree.m1 and fully_free <= shape.LrT:
+                continue  # would consume a full leaf the shape still needs
+            leaf = base + k
+            ok = self._leaf_mask(leaf) & eligible
+            if ok.bit_count() < shape.nrL:
+                continue
+            if best is None or f < best[0]:
+                best = (f, leaf, lowest_bits(ok, shape.nrL))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    # Allocation assembly
+    # ------------------------------------------------------------------
+    def _build_two_level(
+        self,
+        job_id: int,
+        size: int,
+        shape: TwoLevelShape,
+        full_leaves: Sequence[int],
+        s_mask: int,
+        rem_leaf: Optional[int],
+        sr_mask: int,
+    ) -> Allocation:
+        state = self.state
+        nodes: List[int] = []
+        leaf_links: List[LinkId] = []
+        s_indices = indices_of(s_mask)
+        for leaf in full_leaves:
+            nodes.extend(state.free_node_ids(leaf, shape.nL))
+            if not shape.single_leaf:
+                leaf_links.extend(LinkId(leaf, i) for i in s_indices)
+        if rem_leaf is not None:
+            nodes.extend(state.free_node_ids(rem_leaf, shape.nrL))
+            leaf_links.extend(LinkId(rem_leaf, i) for i in indices_of(sr_mask))
+        return Allocation(
+            job_id=job_id,
+            size=size,
+            nodes=tuple(nodes),
+            leaf_links=tuple(leaf_links),
+            spine_links=(),
+            shape=shape,
+        )
+
+    def _build_three_level(
+        self,
+        job_id: int,
+        size: int,
+        shape: ThreeLevelShape,
+        full_pods: Sequence[int],
+        rem_pod: Optional[int],
+        rem_leaf: Optional[int],
+        sr_mask: int,
+        s_star: Sequence[int],
+        s_star_r: Sequence[int],
+    ) -> Allocation:
+        tree = self.tree
+        state = self.state
+        n_i = tree.l2_per_pod
+        all_up = tuple(range(n_i))
+        nodes: List[int] = []
+        leaf_links: List[LinkId] = []
+        spine_links: List[SpineLinkId] = []
+
+        for pod in full_pods:
+            leaves = self._pick_full_free_leaves(pod, shape.LT, exclude=None)
+            for leaf in leaves:
+                nodes.extend(state.free_node_ids(leaf, tree.m1))
+                leaf_links.extend(LinkId(leaf, i) for i in all_up)
+            for i in range(n_i):
+                spine_links.extend(
+                    SpineLinkId(pod, i, j) for j in indices_of(s_star[i])
+                )
+
+        if rem_pod is not None:
+            leaves = self._pick_full_free_leaves(rem_pod, shape.LrT, exclude=rem_leaf)
+            for leaf in leaves:
+                nodes.extend(state.free_node_ids(leaf, tree.m1))
+                leaf_links.extend(LinkId(leaf, i) for i in all_up)
+            if rem_leaf is not None:
+                nodes.extend(state.free_node_ids(rem_leaf, shape.nrL))
+                leaf_links.extend(
+                    LinkId(rem_leaf, i) for i in indices_of(sr_mask)
+                )
+            for i in range(n_i):
+                spine_links.extend(
+                    SpineLinkId(rem_pod, i, j) for j in indices_of(s_star_r[i])
+                )
+
+        return Allocation(
+            job_id=job_id,
+            size=size,
+            nodes=tuple(nodes),
+            leaf_links=tuple(leaf_links),
+            spine_links=tuple(spine_links),
+            shape=shape,
+        )
+
+    def _pick_full_free_leaves(
+        self, pod: int, count: int, exclude: Optional[int]
+    ) -> List[int]:
+        """Lowest-index completely-free leaves of ``pod`` (skipping the
+        remainder leaf if it happens to be fully free)."""
+        if count == 0:
+            return []
+        tree = self.tree
+        free = self.state.free_leaf_counts_in_pod(pod)
+        base = tree.first_leaf_of_pod(pod)
+        out: List[int] = []
+        for k in range(tree.m2):
+            leaf = base + k
+            if leaf == exclude:
+                continue
+            if free[k] == tree.m1:
+                out.append(leaf)
+                if len(out) == count:
+                    return out
+        raise RuntimeError(
+            f"pod {pod} lost fully-free leaves between search and assembly"
+        )

@@ -1,0 +1,208 @@
+"""Topology-Aware (TA) scheduling (section 5.2.2), reconstructed from the
+paper's description of Jain et al. [19].
+
+TA never allocates links explicitly.  Instead it follows node-placement
+rules that rule out *every* placement in which two jobs could conceivably
+contend for a link under an arbitrary routing:
+
+* a job that fits within a leaf (**T1**, ``size <= m1``) must be placed
+  on a single leaf;
+* a job that fits within a subtree (**T2**, ``size <= m1*m2``) must be
+  placed within a single pod;
+* only larger jobs (**T3**) may span the machine.
+
+Because links are only *implicitly* reserved, reservations are coarse: a
+leaf carrying any node of a multi-leaf job could route that job's traffic
+over **all** of its uplinks, so the whole leaf's uplink set belongs to
+that job (Figure 2, center — internal link fragmentation) and no other
+multi-leaf job may place nodes there.  Likewise a pod carrying part of a
+machine-spanning job could see that job's traffic on all of its
+L2-to-spine links, so at most one T3 job may touch a pod.  T1 jobs use no
+uplinks at all (their traffic turns around inside the leaf crossbar), so
+they may share leaves with anything.
+
+The paper attributes to TA exactly two failure modes, both reproduced
+here: internal fragmentation of *links* (never of nodes — TA assigns
+exactly ``size`` nodes) and external fragmentation of *nodes* from the
+single-leaf / single-pod containment rules (Figure 2, right: a three-node
+job waits even though three nodes are free, because no single leaf has
+three).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocator import Allocation, Allocator
+from repro.topology.fattree import XGFT
+
+
+class TopologyAwareAllocator(Allocator):
+    """Node-rule-based isolating allocator with implicit link reservation.
+
+    Parameters
+    ----------
+    tree:
+        Topology to allocate on.
+    t1_shares_multi_leaf:
+        Whether single-leaf (T1) jobs may be placed on leaves whose
+        uplinks are implicitly reserved by a multi-leaf job.  ``False``
+        (default) is the strict reading — TA reserves at whole-leaf
+        granularity, so a reserved leaf takes no other job's nodes;
+        ``True`` is the permissive reading (T1 traffic never leaves the
+        leaf crossbar, so no contention is conceivable).  The difference
+        is an ablation knob.
+    """
+
+    name = "ta"
+    isolating = True
+
+    def __init__(self, tree: XGFT, t1_shares_multi_leaf: bool = False):
+        super().__init__(tree)
+        self.t1_shares_multi_leaf = t1_shares_multi_leaf
+        #: job id of the multi-leaf job whose nodes sit on each leaf, or -1
+        self._multi_owner: List[int] = [-1] * tree.num_leaves
+        #: job id of the T3 job touching each pod, or -1
+        self._t3_owner: List[int] = [-1] * tree.num_pods
+        #: per-job bookkeeping for release: (class, leaves, pods)
+        self._job_meta: Dict[int, Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(self, size: int) -> str:
+        """Job class per the containment rules: ``"t1"``/``"t2"``/``"t3"``."""
+        if size <= self.tree.m1:
+            return "t1"
+        if size <= self.tree.nodes_per_pod:
+            return "t2"
+        return "t3"
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _search(
+        self, job_id: int, size: int, bw_need: Optional[float]
+    ) -> Optional[Allocation]:
+        cls = self.classify(size)
+        if cls == "t1":
+            return self._search_t1(job_id, size)
+        if cls == "t2":
+            return self._search_t2(job_id, size)
+        return self._search_t3(job_id, size)
+
+    def _leaf_usable_by_multi(self, leaf: int) -> bool:
+        """Leaves free of other multi-leaf jobs' implicit reservations."""
+        return self._multi_owner[leaf] == -1
+
+    def _search_t1(self, job_id: int, size: int) -> Optional[Allocation]:
+        """Best-fit single leaf with ``size`` free nodes."""
+        state = self.state
+        tree = self.tree
+        best: Optional[int] = None
+        best_free = tree.m1 + 1
+        for leaf in range(tree.num_leaves):
+            f = int(state.free_per_leaf[leaf])
+            if f < size or f >= best_free:
+                continue
+            if not self.t1_shares_multi_leaf and not self._leaf_usable_by_multi(leaf):
+                continue
+            best, best_free = leaf, f
+        if best is None:
+            return None
+        nodes = state.free_node_ids(best, size)
+        return Allocation(job_id=job_id, size=size, nodes=tuple(nodes))
+
+    def _search_t2(self, job_id: int, size: int) -> Optional[Allocation]:
+        """Single pod, on leaves with no other multi-leaf job's nodes."""
+        tree = self.tree
+        state = self.state
+        for pod in range(tree.num_pods):
+            usable: List[Tuple[int, int]] = []  # (free, leaf)
+            total = 0
+            for leaf in tree.leaves_of_pod(pod):
+                if not self._leaf_usable_by_multi(leaf):
+                    continue
+                f = int(state.free_per_leaf[leaf])
+                if f:
+                    usable.append((f, leaf))
+                    total += f
+            if total < size:
+                continue
+            return self._take_from_leaves(job_id, size, usable)
+        return None
+
+    def _search_t3(self, job_id: int, size: int) -> Optional[Allocation]:
+        """Across pods that no other T3 job touches, on unreserved leaves."""
+        tree = self.tree
+        state = self.state
+        pods: List[int] = []
+        pod_leaves: List[Tuple[int, int]] = []
+        total = 0
+        for pod in range(tree.num_pods):
+            if self._t3_owner[pod] != -1:
+                continue
+            added = False
+            for leaf in tree.leaves_of_pod(pod):
+                if not self._leaf_usable_by_multi(leaf):
+                    continue
+                f = int(state.free_per_leaf[leaf])
+                if f:
+                    pod_leaves.append((f, leaf))
+                    total += f
+                    added = True
+            if added:
+                pods.append(pod)
+            if total >= size:
+                break
+        if total < size:
+            return None
+        return self._take_from_leaves(job_id, size, pod_leaves)
+
+    def _take_from_leaves(
+        self, job_id: int, size: int, usable: List[Tuple[int, int]]
+    ) -> Allocation:
+        """Take ``size`` nodes, emptiest leaves first (fewest leaves touched,
+        so the fewest uplink sets are implicitly reserved)."""
+        usable.sort(key=lambda fl: (-fl[0], fl[1]))
+        nodes: List[int] = []
+        remaining = size
+        for f, leaf in usable:
+            take = min(f, remaining)
+            nodes.extend(self.state.free_node_ids(leaf, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        assert remaining == 0, "capacity was checked before taking nodes"
+        return Allocation(job_id=job_id, size=size, nodes=tuple(nodes))
+
+    # ------------------------------------------------------------------
+    # Claim/release: maintain the implicit-reservation bookkeeping
+    # ------------------------------------------------------------------
+    def _claim(self, alloc: Allocation, bw_need: Optional[float]) -> None:
+        super()._claim(alloc, bw_need)
+        cls = self.classify(alloc.size)
+        tree = self.tree
+        leaves = tuple(sorted({n // tree.m1 for n in alloc.nodes}))
+        pods = tuple(sorted({leaf // tree.m2 for leaf in leaves}))
+        if cls != "t1":
+            for leaf in leaves:
+                assert self._multi_owner[leaf] == -1
+                self._multi_owner[leaf] = alloc.job_id
+        if cls == "t3":
+            for pod in pods:
+                assert self._t3_owner[pod] == -1
+                self._t3_owner[pod] = alloc.job_id
+        self._job_meta[alloc.job_id] = (cls, leaves, pods)
+
+    def _release(self, job_id: int) -> None:
+        super()._release(job_id)
+        cls, leaves, pods = self._job_meta.pop(job_id)
+        if cls != "t1":
+            for leaf in leaves:
+                if self._multi_owner[leaf] == job_id:
+                    self._multi_owner[leaf] = -1
+        if cls == "t3":
+            for pod in pods:
+                if self._t3_owner[pod] == job_id:
+                    self._t3_owner[pod] = -1

@@ -1,0 +1,53 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+One module per artifact:
+
+* :mod:`repro.experiments.table1` — trace characteristics (Table 1)
+* :mod:`repro.experiments.fig6` — average system utilization (Figure 6)
+* :mod:`repro.experiments.table2` — instantaneous-utilization histogram (Table 2)
+* :mod:`repro.experiments.fig7` — normalized turnaround times (Figure 7)
+* :mod:`repro.experiments.fig8` — normalized makespans (Figure 8)
+* :mod:`repro.experiments.table3` — scheduling time per job (Table 3)
+
+All experiments accept a ``scale`` in ``(0, 1]`` that multiplies the
+paper's job counts; the defaults keep each benchmark in the minutes
+range on a laptop, and ``REPRO_SCALE=1`` reruns at paper scale (see
+DESIGN.md section 7).
+"""
+
+from repro.experiments.runner import (
+    ExperimentSetup,
+    default_scale,
+    paper_setup,
+    run_scheme,
+)
+from repro.experiments.fig6 import fig6_utilization
+from repro.experiments.fig7 import fig7_turnaround
+from repro.experiments.fig8 import fig8_makespan
+from repro.experiments.table1 import table1_traces
+from repro.experiments.table2 import table2_instantaneous
+from repro.experiments.table3 import table3_scheduling_time
+from repro.experiments.report import render_table, render_series
+from repro.experiments.stats import (
+    SeedStats,
+    fig6_with_seeds,
+    utilization_with_seeds,
+)
+
+__all__ = [
+    "ExperimentSetup",
+    "paper_setup",
+    "default_scale",
+    "run_scheme",
+    "fig6_utilization",
+    "fig7_turnaround",
+    "fig8_makespan",
+    "table1_traces",
+    "table2_instantaneous",
+    "table3_scheduling_time",
+    "render_table",
+    "render_series",
+    "SeedStats",
+    "fig6_with_seeds",
+    "utilization_with_seeds",
+]

@@ -1,0 +1,150 @@
+"""Fast reproduction self-check: the paper's claims as a scorecard.
+
+``jigsaw-repro check`` runs miniature versions of the headline
+experiments (a minute or so) and reports which of the paper's
+qualitative claims hold.  It is a smoke test for the reproduction —
+the benchmarks assert the same shapes at proper scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.conditions import check_allocation
+from repro.core.registry import make_allocator
+from repro.experiments.runner import paper_setup, run_scheme
+from repro.routing.contention import contention_report
+from repro.routing.rearrange import route_permutation, verify_one_flow_per_link
+from repro.topology.fattree import FatTree
+
+
+@dataclass
+class ClaimResult:
+    """Outcome of checking one of the paper's claims."""
+
+    claim: str
+    paper_ref: str
+    passed: bool
+    detail: str = ""
+
+
+def _claim_isolation_and_conditions() -> ClaimResult:
+    """Jigsaw allocations are legal and mutually isolated."""
+    tree = FatTree.from_radix(8)
+    allocator = make_allocator("jigsaw", tree)
+    rng = random.Random(0)
+    allocations = []
+    for jid in range(1, 30):
+        alloc = allocator.allocate(jid, rng.choice([2, 5, 8, 13, 20]))
+        if alloc:
+            allocations.append(alloc)
+    bad = sum(1 for a in allocations if check_allocation(tree, a))
+    report = contention_report(tree, allocations, use_partition_routing=True)
+    ok = bad == 0 and report.interference_free
+    return ClaimResult(
+        "isolated, condition-compliant partitions",
+        "sections 3.2, 6",
+        ok,
+        f"{len(allocations)} placements, {bad} condition violations, "
+        f"inter-job interference: {not report.interference_free}",
+    )
+
+
+def _claim_full_bandwidth() -> ClaimResult:
+    """Partitions route random permutations one-flow-per-link."""
+    tree = FatTree.from_radix(8)
+    allocator = make_allocator("jigsaw", tree)
+    rng = random.Random(1)
+    failures = 0
+    checked = 0
+    for jid, size in enumerate([9, 16, 20, 33], start=1):
+        alloc = allocator.allocate(jid, size)
+        if alloc is None:
+            continue
+        nodes = sorted(alloc.nodes)
+        shuffled = list(nodes)
+        rng.shuffle(shuffled)
+        assignments = route_permutation(tree, alloc, dict(zip(nodes, shuffled)))
+        if verify_one_flow_per_link(tree, alloc, assignments):
+            failures += 1
+        checked += 1
+    return ClaimResult(
+        "partitions are rearrangeable non-blocking",
+        "theorem 6 / appendix A",
+        failures == 0 and checked >= 3,
+        f"{checked} partitions permutation-routed, {failures} failures",
+    )
+
+
+def _claim_utilization_ordering(scale: Optional[float]) -> ClaimResult:
+    """Baseline > Jigsaw > LaaS/TA on the synthetic workload."""
+    setup = paper_setup("Synth-16", scale=scale)
+    utils = {
+        scheme: run_scheme(setup, scheme).steady_state_utilization
+        for scheme in ("baseline", "jigsaw", "laas", "ta")
+    }
+    ok = (
+        utils["baseline"] >= 97.0
+        and utils["baseline"] > utils["jigsaw"]
+        and utils["jigsaw"] >= utils["laas"] - 0.5
+        and utils["jigsaw"] >= utils["ta"] - 0.5
+    )
+    detail = ", ".join(f"{k}={v:.1f}%" for k, v in utils.items())
+    return ClaimResult(
+        "utilization ranking (Figure 6)", "section 6.1", ok, detail
+    )
+
+
+def _claim_turnaround_crossover(scale: Optional[float]) -> ClaimResult:
+    """Jigsaw beats Baseline on turnaround at a 10 % isolation speed-up."""
+    setup = paper_setup("Aug-Cab", scale=scale)
+    base = run_scheme(setup, "baseline", scenario="10%")
+    jig = run_scheme(setup, "jigsaw", scenario="10%")
+    ratio = jig.mean_turnaround / base.mean_turnaround
+    return ClaimResult(
+        "turnaround crossover at 10% speed-up (Figure 7)",
+        "section 6.2",
+        ratio < 1.0,
+        f"jigsaw/baseline = {ratio:.2f}",
+    )
+
+
+def _claim_scheduling_speed(scale: Optional[float]) -> ClaimResult:
+    """Jigsaw schedules in milliseconds; LC+S is much slower."""
+    setup = paper_setup("Synth-16", scale=scale)
+    jig = run_scheme(setup, "jigsaw").mean_sched_time_per_job
+    lcs = run_scheme(setup, "lc+s").mean_sched_time_per_job
+    ok = jig < 0.05 and lcs > 2 * jig
+    return ClaimResult(
+        "scheduling-time gap (Table 3)",
+        "section 6.4",
+        ok,
+        f"jigsaw={jig * 1e3:.2f}ms/job, lc+s={lcs * 1e3:.2f}ms/job",
+    )
+
+
+def run_checks(scale: Optional[float] = 0.01) -> List[ClaimResult]:
+    """Run every claim check at the given (tiny) scale."""
+    return [
+        _claim_isolation_and_conditions(),
+        _claim_full_bandwidth(),
+        _claim_utilization_ordering(scale),
+        _claim_turnaround_crossover(scale),
+        _claim_scheduling_speed(scale),
+    ]
+
+
+def render(results: List[ClaimResult]) -> str:
+    """The scorecard as text."""
+    lines = ["Reproduction self-check (miniature scale):", ""]
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        lines.append(f"[{mark}] {r.claim}  ({r.paper_ref})")
+        if r.detail:
+            lines.append(f"       {r.detail}")
+    passed = sum(r.passed for r in results)
+    lines.append("")
+    lines.append(f"{passed}/{len(results)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Figure 6: average steady-state system utilization.
+
+Five schemes x nine traces.  Paper expectations: Baseline 97-100 %,
+LC+S >= Jigsaw, Jigsaw typically 95-96 % (92-93 on Atlas/Oct-Cab),
+LaaS 90-93 %, TA 85-88 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import ALL_TRACE_NAMES, paper_setup, run_scheme
+
+#: presentation order of Figure 6's bars
+FIG6_SCHEMES = ("baseline", "lc+s", "jigsaw", "laas", "ta")
+
+
+def fig6_utilization(
+    names: Sequence[str] = ALL_TRACE_NAMES,
+    schemes: Sequence[str] = FIG6_SCHEMES,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Average utilization (%) per trace per scheme."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        setup = paper_setup(name, scale=scale, seed=seed)
+        rows[name] = {}
+        for scheme in schemes:
+            result = run_scheme(setup, scheme, seed=seed)
+            rows[name][scheme] = result.steady_state_utilization
+    return rows
+
+
+def render(rows: Dict[str, Dict[str, float]]) -> str:
+    """Figure 6 as an aligned text table."""
+    schemes = list(next(iter(rows.values())))
+    return render_table(
+        "Figure 6: Average system utilization (%) per scheduling approach",
+        rows,
+        schemes,
+        row_header="Trace",
+        float_fmt="{:.1f}",
+    )

@@ -1,0 +1,72 @@
+"""Figure 7: average job turnaround time, normalized to Baseline.
+
+Two traces (Aug-Cab and Oct-Cab, real arrivals) x six job-performance
+scenarios x four schemes, reported for all jobs and for large jobs
+(> 100 nodes).  Paper expectations: Jigsaw beats Baseline on all-job
+turnaround in every speed-up scenario on Aug-Cab and in the 10 %/20 %
+scenarios on Oct-Cab; TA is always the worst isolating scheme; LaaS
+falls between TA and Jigsaw.
+
+Baseline ignores speed-ups, so it is simulated once per trace and its
+result reused across scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import paper_setup, run_scheme
+from repro.sched.speedup import SCENARIOS
+
+FIG7_TRACES = ("Aug-Cab", "Oct-Cab")
+FIG7_SCHEMES = ("ta", "laas", "jigsaw", "lc+s")
+
+
+def fig7_turnaround(
+    trace_names: Sequence[str] = FIG7_TRACES,
+    schemes: Sequence[str] = FIG7_SCHEMES,
+    scenarios: Sequence[str] = SCENARIOS,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Normalized turnaround per trace: scenario -> scheme -> ratio.
+
+    Each scheme contributes two keys: ``<scheme>`` (all jobs) and
+    ``<scheme>/large`` (jobs over 100 nodes), matching the filled and
+    empty bar portions of Figure 7.
+    """
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in trace_names:
+        setup = paper_setup(name, scale=scale, seed=seed)
+        base = run_scheme(setup, "baseline", seed=seed)
+        base_all = base.mean_turnaround
+        base_large = base.mean_turnaround_large
+        out[name] = {}
+        for scenario in scenarios:
+            row: Dict[str, float] = {}
+            for scheme in schemes:
+                result = run_scheme(setup, scheme, scenario=scenario, seed=seed)
+                row[scheme] = result.mean_turnaround / base_all
+                row[f"{scheme}/large"] = (
+                    result.mean_turnaround_large / base_large
+                )
+            out[name][scenario] = row
+    return out
+
+
+def render(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Figure 7 as one table per trace."""
+    parts = []
+    for trace, by_scenario in results.items():
+        columns = list(next(iter(by_scenario.values())))
+        parts.append(
+            render_table(
+                f"Figure 7: Job turnaround times for {trace} "
+                "(normalized to Baseline; lower is better)",
+                by_scenario,
+                columns,
+                row_header="Scenario",
+            )
+        )
+    return "\n\n".join(parts)

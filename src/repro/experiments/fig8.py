@@ -1,0 +1,58 @@
+"""Figure 8: makespan normalized to Baseline.
+
+Two time-zero traces (Thunder, Atlas) x six scenarios x four schemes.
+Paper expectations: Jigsaw is at most a few percent above Baseline with
+no speed-ups and beats it (by up to 15 %) once jobs speed up; TA is
+worst (still above Baseline except at 20 %); LaaS is between TA and
+Jigsaw; LC+S tracks Jigsaw closely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import paper_setup, run_scheme
+from repro.sched.speedup import SCENARIOS
+
+FIG8_TRACES = ("Thunder", "Atlas")
+FIG8_SCHEMES = ("ta", "laas", "jigsaw", "lc+s")
+
+
+def fig8_makespan(
+    trace_names: Sequence[str] = FIG8_TRACES,
+    schemes: Sequence[str] = FIG8_SCHEMES,
+    scenarios: Sequence[str] = SCENARIOS,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Normalized makespan per trace: scenario -> scheme -> ratio."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in trace_names:
+        setup = paper_setup(name, scale=scale, seed=seed)
+        base = run_scheme(setup, "baseline", seed=seed).makespan
+        out[name] = {}
+        for scenario in scenarios:
+            row: Dict[str, float] = {}
+            for scheme in schemes:
+                result = run_scheme(setup, scheme, scenario=scenario, seed=seed)
+                row[scheme] = result.makespan / base
+            out[name][scenario] = row
+    return out
+
+
+def render(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Figure 8 as one table per trace."""
+    parts = []
+    for trace, by_scenario in results.items():
+        columns = list(next(iter(by_scenario.values())))
+        parts.append(
+            render_table(
+                f"Figure 8: Makespans for {trace} "
+                "(normalized to Baseline; lower is better)",
+                by_scenario,
+                columns,
+                row_header="Scenario",
+            )
+        )
+    return "\n\n".join(parts)

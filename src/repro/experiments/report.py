@@ -1,0 +1,105 @@
+"""Plain-text rendering of experiment results, in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, object]],
+    columns: Sequence[str],
+    row_header: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` (row label -> column -> value) as an aligned table."""
+    header = [row_header] + list(columns)
+    body = []
+    for label, cells in rows.items():
+        line = [str(label)]
+        for col in columns:
+            value = cells.get(col, "-")
+            if isinstance(value, float):
+                value = float_fmt.format(value)
+            line.append(str(value))
+        body.append(line)
+    widths = [
+        max(len(row[i]) for row in [header] + body) for i in range(len(header))
+    ]
+    sep = "  "
+
+    def fmt(row):
+        return sep.join(cell.rjust(w) for cell, w in zip(row, widths))
+
+    lines = [title, fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in body)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    x_labels: Sequence[str],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render figure-style series (series name -> x label -> y value)."""
+    return render_table(title, series, x_labels, row_header="series",
+                        float_fmt=float_fmt)
+
+
+def normalized(values: Dict[str, float], baseline: float) -> Dict[str, float]:
+    """Divide every value by ``baseline`` (the paper's figure normalization)."""
+    if baseline == 0:
+        raise ValueError("cannot normalize by a zero baseline")
+    return {k: v / baseline for k, v in values.items()}
+
+
+def render_bars(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 40,
+    lo: float = 0.0,
+    hi: float = 100.0,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Horizontal ASCII bar chart (the terminal stand-in for Figure 6).
+
+    Values are clipped to ``[lo, hi]`` and drawn proportionally; the
+    numeric value is printed after each bar.
+    """
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    if width < 1:
+        raise ValueError("width must be positive")
+    label_w = max((len(k) for k in values), default=0)
+    lines = [title]
+    for label, value in values.items():
+        clipped = min(max(value, lo), hi)
+        filled = round(width * (clipped - lo) / (hi - lo))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label.rjust(label_w)} |{bar}| {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_sparkline(
+    series: Sequence[float], lo: float = 0.0, hi: float = 100.0
+) -> str:
+    """One-line sparkline (utilization timelines, at a glance)."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    glyphs = " .:-=+*#%@"
+    out = []
+    for value in series:
+        clipped = min(max(value, lo), hi)
+        idx = round((len(glyphs) - 1) * (clipped - lo) / (hi - lo))
+        out.append(glyphs[idx])
+    return "".join(out)
+
+
+def save_json(rows: Mapping, path) -> None:
+    """Persist experiment rows as JSON for external plotting."""
+    import json
+    from pathlib import Path
+
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(rows, indent=1, sort_keys=True))

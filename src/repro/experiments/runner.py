@@ -1,0 +1,152 @@
+"""Shared experiment setup: the paper's cluster/trace assignments.
+
+Section 5.4.3: the three synthetic traces run on the 1024-, 2662- and
+5488-node clusters; Thunder, Atlas and the Cab months run on the
+1458-node cluster (chosen over the 1024-node one so the leaf size does
+not accidentally divide the power-of-two job sizes, which would flatter
+LaaS).  Aug-Cab and Nov-Cab arrivals are scaled by 0.5.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.registry import make_allocator
+from repro.sched.metrics import SimResult
+from repro.sched.simulator import Simulator
+from repro.sched.speedup import apply_scenario
+from repro.topology.fattree import FatTree
+from repro.traces import atlas_like, cab_like, synthetic_trace, thunder_like
+from repro.traces.trace import Trace
+
+#: paper job counts per trace name
+PAPER_JOB_COUNTS = {
+    "Synth-16": 10_000,
+    "Synth-22": 10_000,
+    "Synth-28": 10_000,
+    "Thunder": 105_764,
+    "Atlas": 29_700,
+    "Aug-Cab": 30_691,
+    "Sep-Cab": 87_564,
+    "Oct-Cab": 125_228,
+    "Nov-Cab": 50_353,
+}
+
+#: default scaled-down job counts used by the benchmarks
+DEFAULT_JOB_COUNTS = {
+    "Synth-16": 2_500,
+    "Synth-22": 1_500,
+    "Synth-28": 1_200,
+    "Thunder": 4_000,
+    "Atlas": 3_000,
+    "Aug-Cab": 3_500,
+    "Sep-Cab": 3_500,
+    "Oct-Cab": 3_500,
+    "Nov-Cab": 3_500,
+}
+
+#: switch radix of the cluster each trace is simulated on (section 5.4.3)
+TRACE_CLUSTER_RADIX = {
+    "Synth-16": 16,
+    "Synth-22": 22,
+    "Synth-28": 28,
+    "Thunder": 18,
+    "Atlas": 18,
+    "Aug-Cab": 18,
+    "Sep-Cab": 18,
+    "Oct-Cab": 18,
+    "Nov-Cab": 18,
+}
+
+#: arrival-time scaling (section 5.1: Aug and Nov ran at low native load)
+ARRIVAL_SCALE = {"Aug-Cab": 0.5, "Nov-Cab": 0.5}
+
+ALL_TRACE_NAMES = tuple(PAPER_JOB_COUNTS)
+
+_MIN_JOBS = 300
+
+
+def default_scale() -> Optional[float]:
+    """The job-count scale from ``REPRO_SCALE`` (None = bench defaults).
+
+    ``REPRO_FULL_SCALE=1`` is shorthand for ``REPRO_SCALE=1``.
+    """
+    if os.environ.get("REPRO_FULL_SCALE"):
+        return 1.0
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return None
+    scale = float(raw)
+    if not 0 < scale <= 1:
+        raise ValueError(f"REPRO_SCALE must be in (0, 1], got {scale}")
+    return scale
+
+
+def _num_jobs(name: str, scale: Optional[float]) -> int:
+    if scale is None:
+        return DEFAULT_JOB_COUNTS[name]
+    return max(_MIN_JOBS, int(PAPER_JOB_COUNTS[name] * scale))
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """One trace bound to its experiment cluster, ready to simulate."""
+
+    trace: Trace
+    tree: FatTree
+
+    @property
+    def name(self) -> str:
+        return self.trace.name
+
+
+def paper_setup(
+    name: str, scale: Optional[float] = None, seed: int = 0
+) -> ExperimentSetup:
+    """Build the named trace on its section-5.4.3 cluster.
+
+    ``scale`` multiplies the paper's job count (None = the benchmark
+    default counts); arrival scaling for Aug/Nov-Cab is applied here.
+    """
+    if name not in PAPER_JOB_COUNTS:
+        raise ValueError(f"unknown trace {name!r}; expected one of {ALL_TRACE_NAMES}")
+    n = _num_jobs(name, scale)
+    if name.startswith("Synth-"):
+        mean = int(name.split("-")[1])
+        tree = FatTree.from_radix(TRACE_CLUSTER_RADIX[name])
+        trace = synthetic_trace(mean, num_jobs=n, seed=seed, max_size=tree.num_nodes)
+        return ExperimentSetup(trace, tree)
+    tree = FatTree.from_radix(TRACE_CLUSTER_RADIX[name])
+    if name == "Thunder":
+        trace = thunder_like(num_jobs=n, seed=seed)
+    elif name == "Atlas":
+        trace = atlas_like(num_jobs=n, seed=seed)
+    else:
+        month = name.split("-")[0].lower()
+        trace = cab_like(month, num_jobs=n, seed=seed)
+        if name in ARRIVAL_SCALE:
+            trace = trace.scale_arrivals(ARRIVAL_SCALE[name])
+    return ExperimentSetup(trace, tree)
+
+
+def run_scheme(
+    setup: ExperimentSetup,
+    scheme: str,
+    scenario: Optional[str] = None,
+    seed: int = 0,
+    backfill_window: int = 50,
+    reservation_policy: str = "renew",
+    **allocator_kwargs,
+) -> SimResult:
+    """Simulate ``setup``'s trace under one scheme (and speed-up scenario)."""
+    if scenario is not None:
+        apply_scenario(setup.trace.jobs, scenario, seed=seed)
+    allocator = make_allocator(scheme, setup.tree, **allocator_kwargs)
+    sim = Simulator(
+        allocator,
+        backfill_window=backfill_window,
+        reservation_policy=reservation_policy,
+    )
+    return sim.run(setup.trace)

@@ -1,0 +1,102 @@
+"""Multi-seed statistics for the stochastic experiments.
+
+The paper reports single runs; our traces and scenario assignments are
+synthetic, so seed-to-seed variance matters when judging whether a gap
+(say, Jigsaw vs LaaS utilization) is real.  This module reruns an
+experiment across seeds and reports mean, standard deviation and a
+normal-approximation 95 % confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.experiments.runner import paper_setup, run_scheme
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Summary of one scalar metric across seeds."""
+
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("SeedStats needs at least one value")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single value)."""
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95 % CI of the mean."""
+        if self.n < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.ci95:.2f} (n={self.n})"
+
+
+def across_seeds(
+    metric: Callable[[int], float], seeds: Sequence[int]
+) -> SeedStats:
+    """Evaluate ``metric(seed)`` for every seed."""
+    return SeedStats(tuple(float(metric(seed)) for seed in seeds))
+
+
+def utilization_with_seeds(
+    trace_name: str,
+    scheme: str,
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: Optional[float] = None,
+    **run_kwargs,
+) -> SeedStats:
+    """Steady-state utilization of one (trace, scheme) across seeds.
+
+    Each seed regenerates the trace (and any scenario randomness), so
+    the spread covers workload variance, not just tie-breaking."""
+
+    def metric(seed: int) -> float:
+        setup = paper_setup(trace_name, scale=scale, seed=seed)
+        result = run_scheme(setup, scheme, seed=seed, **run_kwargs)
+        return result.steady_state_utilization
+
+    return across_seeds(metric, seeds)
+
+
+def fig6_with_seeds(
+    names: Sequence[str],
+    schemes: Sequence[str],
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: Optional[float] = None,
+) -> Dict[str, Dict[str, SeedStats]]:
+    """Figure 6 with confidence intervals: trace -> scheme -> stats."""
+    out: Dict[str, Dict[str, SeedStats]] = {}
+    for name in names:
+        out[name] = {
+            scheme: utilization_with_seeds(name, scheme, seeds=seeds, scale=scale)
+            for scheme in schemes
+        }
+    return out
+
+
+def gap_is_significant(a: SeedStats, b: SeedStats) -> bool:
+    """Whether ``a`` and ``b``'s means differ beyond both 95 % CIs —
+    a coarse two-sample check suited to the small seed counts used here."""
+    return abs(a.mean - b.mean) > (a.ci95 + b.ci95)

@@ -1,0 +1,42 @@
+"""Table 1: characteristics of the job-queue traces."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import ALL_TRACE_NAMES, paper_setup
+from repro.experiments.report import render_table
+
+
+def table1_traces(
+    names: Sequence[str] = ALL_TRACE_NAMES,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, object]]:
+    """Regenerate Table 1's rows for the (possibly scaled) traces."""
+    rows: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        setup = paper_setup(name, scale=scale, seed=seed)
+        stats = setup.trace.stats()
+        row = stats.as_row()
+        row["Sim cluster nodes"] = setup.tree.num_nodes
+        rows[name] = row
+    return rows
+
+
+def render(rows: Dict[str, Dict[str, object]]) -> str:
+    """Table 1 as an aligned text table."""
+    columns = [
+        "System nodes",
+        "Number of jobs",
+        "Max job nodes",
+        "Job run times (s)",
+        "Arrival times",
+        "Sim cluster nodes",
+    ]
+    return render_table(
+        "Table 1: Characteristics of job queue traces",
+        rows,
+        columns,
+        row_header="Trace name",
+    )

@@ -1,0 +1,45 @@
+"""Table 2: frequency of instantaneous-utilization ranges on Thunder.
+
+The paper samples instantaneous utilization (allocated requested nodes /
+system nodes) at every schedule or completion event of the Thunder trace
+and reports, for LaaS, Jigsaw and TA, how many samples fall into each
+range.  The headline shape: Jigsaw spends roughly a quarter of its
+samples at >= 98 %, TA a tenth, LaaS essentially none (its ~3 % padding
+loss makes >= 98 % unreachable); TA falls below 80 % far more often than
+either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import paper_setup, run_scheme
+from repro.sched.metrics import INSTANT_BINS
+
+TABLE2_SCHEMES = ("laas", "jigsaw", "ta")
+
+
+def table2_instantaneous(
+    trace_name: str = "Thunder",
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, int]]:
+    """Histogram counts per scheme (Table 2's rows)."""
+    setup = paper_setup(trace_name, scale=scale, seed=seed)
+    rows: Dict[str, Dict[str, int]] = {}
+    for scheme in TABLE2_SCHEMES:
+        result = run_scheme(setup, scheme, seed=seed)
+        rows[scheme] = result.instant.as_row()
+    return rows
+
+
+def render(rows: Dict[str, Dict[str, int]]) -> str:
+    """Table 2 as an aligned text table."""
+    columns = [label for label, _, _ in INSTANT_BINS]
+    return render_table(
+        "Table 2: Frequency of instantaneous utilization ranges (Thunder)",
+        rows,
+        columns,
+        row_header="Approach",
+    )

@@ -1,0 +1,48 @@
+"""Table 3: average scheduling time per job, in seconds.
+
+Four representative experiments from the smallest cluster to the
+largest: Synth-16 (1024 nodes), Sep-Cab and Thunder (1458), Synth-28
+(5488).  Paper expectations: TA, LaaS and Jigsaw are within an order of
+magnitude of one another and in the milliseconds; LC+S is one to two
+orders of magnitude slower and grows sharply with cluster size.
+Absolute numbers are machine- and language-dependent (the paper's code
+is C++; this is Python) — Table 3's *shape* is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import paper_setup, run_scheme
+
+TABLE3_TRACES = ("Synth-16", "Sep-Cab", "Thunder", "Synth-28")
+TABLE3_SCHEMES = ("ta", "laas", "jigsaw", "lc+s")
+
+
+def table3_scheduling_time(
+    trace_names: Sequence[str] = TABLE3_TRACES,
+    schemes: Sequence[str] = TABLE3_SCHEMES,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Mean allocator wall-clock seconds per job: scheme -> trace -> s."""
+    rows: Dict[str, Dict[str, float]] = {scheme: {} for scheme in schemes}
+    for name in trace_names:
+        setup = paper_setup(name, scale=scale, seed=seed)
+        for scheme in schemes:
+            result = run_scheme(setup, scheme, seed=seed)
+            rows[scheme][name] = result.mean_sched_time_per_job
+    return rows
+
+
+def render(rows: Dict[str, Dict[str, float]]) -> str:
+    """Table 3 as an aligned text table."""
+    traces = list(next(iter(rows.values())))
+    return render_table(
+        "Table 3: Average scheduling time per job (seconds)",
+        rows,
+        traces,
+        row_header="Approach",
+        float_fmt="{:.5f}",
+    )

@@ -1,0 +1,35 @@
+"""Flow-level network simulation: deriving slowdowns from placements.
+
+The paper's performance scenarios (section 5.4.1) *assume* jobs speed up
+by 5-20 % when isolated, citing interference studies [6-8, 30].  This
+package closes the loop: given concrete placements, communication
+patterns and routing, it computes per-flow throughput under max-min fair
+bandwidth sharing and hence each job's *measured* slowdown relative to
+running alone — zero inter-job slowdown under Jigsaw placements, and
+whatever the contention produces under Baseline.
+
+* :mod:`repro.netsim.fairshare` — progressive-filling max-min fair rate
+  allocation over capacitated directed links;
+* :mod:`repro.netsim.patterns` — communication patterns (permutation,
+  ring shift, nearest-neighbor, all-to-all samples) as flow sets;
+* :mod:`repro.netsim.slowdown` — phase-completion-time model and
+  job/system slowdown reports.
+"""
+
+from repro.netsim.fairshare import FlowRates, max_min_fair_rates
+from repro.netsim.patterns import PATTERNS, pattern_flows
+from repro.netsim.slowdown import (
+    JobSlowdown,
+    SlowdownReport,
+    slowdown_report,
+)
+
+__all__ = [
+    "max_min_fair_rates",
+    "FlowRates",
+    "pattern_flows",
+    "PATTERNS",
+    "slowdown_report",
+    "SlowdownReport",
+    "JobSlowdown",
+]

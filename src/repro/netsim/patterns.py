@@ -1,0 +1,86 @@
+"""Communication patterns as flow sets.
+
+The interference literature the paper cites measures slowdowns on
+communication-heavy kernels; these generators produce the corresponding
+flow sets over a job's allocated nodes:
+
+* ``permutation`` — a random permutation (the pattern the paper's
+  bandwidth guarantee is stated over);
+* ``shift`` — node ``i`` sends to node ``(i + k) mod n`` within the job
+  (the pattern D-mod-k was designed to balance);
+* ``neighbor`` — a bidirectional ring, the halo-exchange skeleton of
+  stencil codes;
+* ``alltoall_sample`` — a random sample of the full all-to-all, the
+  heaviest collective (the complete all-to-all has n² flows; a sample
+  keeps the analysis cheap while exercising the same links).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.allocator import Allocation
+
+#: (source node, destination node)
+Flow = Tuple[int, int]
+PatternFn = Callable[[Sequence[int], random.Random], List[Flow]]
+
+
+def _permutation(nodes: Sequence[int], rng: random.Random) -> List[Flow]:
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    return [(s, d) for s, d in zip(nodes, shuffled) if s != d]
+
+
+def _shift(nodes: Sequence[int], rng: random.Random) -> List[Flow]:
+    n = len(nodes)
+    if n < 2:
+        return []
+    k = rng.randrange(1, n)
+    return [(nodes[i], nodes[(i + k) % n]) for i in range(n)]
+
+
+def _neighbor(nodes: Sequence[int], rng: random.Random) -> List[Flow]:
+    n = len(nodes)
+    if n < 2:
+        return []
+    flows: List[Flow] = []
+    for i in range(n):
+        flows.append((nodes[i], nodes[(i + 1) % n]))
+        flows.append((nodes[i], nodes[(i - 1) % n]))
+    return [(s, d) for s, d in flows if s != d]
+
+
+def _alltoall_sample(nodes: Sequence[int], rng: random.Random) -> List[Flow]:
+    n = len(nodes)
+    if n < 2:
+        return []
+    per_node = min(4, n - 1)
+    flows: List[Flow] = []
+    for src in nodes:
+        for dst in rng.sample([d for d in nodes if d != src], per_node):
+            flows.append((src, dst))
+    return flows
+
+
+PATTERNS: Dict[str, PatternFn] = {
+    "permutation": _permutation,
+    "shift": _shift,
+    "neighbor": _neighbor,
+    "alltoall_sample": _alltoall_sample,
+}
+
+
+def pattern_flows(
+    alloc: Allocation, pattern: str, seed: int = 0
+) -> List[Flow]:
+    """The pattern's flows over one job's allocated nodes."""
+    try:
+        fn = PATTERNS[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; expected one of {sorted(PATTERNS)}"
+        ) from None
+    rng = random.Random((seed, alloc.job_id, pattern).__hash__())
+    return fn(sorted(alloc.nodes), rng)

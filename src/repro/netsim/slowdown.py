@@ -1,0 +1,164 @@
+"""Job slowdowns derived from placements and bandwidth sharing.
+
+Model: every job runs a communication phase moving one unit of data per
+flow.  Phase completion time is set by the job's slowest flow
+(``1 / min rate``).  Run alone on its own links a job completes in its
+*isolated* time; sharing the fabric with everyone else it completes in
+its *contended* time.  The ratio is the job's slowdown — the quantity
+the interference studies the paper cites measure directly, and the
+ground truth behind the 5-20 % speed-up scenarios of section 5.4.1
+(a job that runs ``s``× slower under sharing speeds up by ``s - 1``
+when isolated).
+
+Routing regimes mirror :mod:`repro.routing.contention`: plain D-mod-k
+over the shared fabric (Baseline) versus per-job partition routing
+(isolating schedulers).  Under partition routing no link carries two
+jobs' flows, so contended and isolated times coincide and every
+slowdown is exactly 1.0 — verified, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.allocator import Allocation
+from repro.netsim.fairshare import max_min_fair_rates
+from repro.netsim.patterns import pattern_flows
+from repro.routing.contention import route_flows
+from repro.topology.fattree import XGFT
+
+
+@dataclass(frozen=True)
+class JobSlowdown:
+    """One job's phase times with and without the other jobs present."""
+
+    job_id: int
+    pattern: str
+    flows: int
+    isolated_time: float
+    contended_time: float
+
+    @property
+    def slowdown(self) -> float:
+        """Contended / isolated phase time (1.0 = interference-free)."""
+        if self.isolated_time == 0:
+            return 1.0
+        return self.contended_time / self.isolated_time
+
+    @property
+    def isolation_speedup(self) -> float:
+        """The section-5.4.1 quantity: fractional speed-up from isolation."""
+        return self.slowdown - 1.0
+
+
+@dataclass
+class SlowdownReport:
+    """System-wide slowdown summary for one pattern assignment."""
+
+    jobs: Dict[int, JobSlowdown]
+
+    @property
+    def mean_slowdown(self) -> float:
+        if not self.jobs:
+            return 1.0
+        return sum(j.slowdown for j in self.jobs.values()) / len(self.jobs)
+
+    @property
+    def max_slowdown(self) -> float:
+        return max((j.slowdown for j in self.jobs.values()), default=1.0)
+
+    @property
+    def interference_free(self) -> bool:
+        return all(abs(j.slowdown - 1.0) < 1e-9 for j in self.jobs.values())
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        worst = max(self.jobs.values(), key=lambda j: j.slowdown, default=None)
+        lines = [
+            f"jobs: {len(self.jobs)}",
+            f"mean slowdown: {self.mean_slowdown:.3f}x",
+            f"max slowdown: {self.max_slowdown:.3f}x",
+        ]
+        if worst is not None and worst.slowdown > 1.0:
+            lines.append(
+                f"worst: job {worst.job_id} ({worst.pattern}) "
+                f"{worst.slowdown:.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def _phase_times(
+    tree: XGFT,
+    job_flows: Mapping[int, List[Tuple[int, int]]],
+    allocations: Optional[Mapping[int, Allocation]],
+    capacity: float,
+) -> Dict[int, float]:
+    """Phase completion time per job when all jobs share the fabric."""
+    flow_ids = {}
+    flow_links = {}
+    routes = route_flows(
+        tree,
+        [(job, s, d) for job, flows in job_flows.items() for s, d in flows],
+        allocations=allocations,
+    )
+    for (job, s, d), route in routes.items():
+        fid = (job, s, d)
+        flow_ids.setdefault(job, []).append(fid)
+        flow_links[fid] = [(direction, link) for direction, link in route.links()]
+    rates = max_min_fair_rates(flow_links, capacity=capacity)
+    times: Dict[int, float] = {}
+    for job, flows in job_flows.items():
+        fids = flow_ids.get(job, [])
+        if not fids:
+            times[job] = 0.0
+            continue
+        slowest = min(rates.rates[fid] for fid in fids)
+        times[job] = 1.0 / slowest
+    return times
+
+
+def slowdown_report(
+    tree: XGFT,
+    allocations: Iterable[Allocation],
+    patterns: Mapping[int, str] | str = "permutation",
+    seed: int = 0,
+    use_partition_routing: bool = False,
+    capacity: float = 1.0,
+) -> SlowdownReport:
+    """Measure every job's slowdown under shared-fabric contention.
+
+    ``patterns`` is either one pattern name for all jobs or a per-job
+    mapping.  ``use_partition_routing=True`` models an isolating
+    scheduler (each job confined to its own links).
+    """
+    allocs = {a.job_id: a for a in allocations}
+    if isinstance(patterns, str):
+        patterns = {job_id: patterns for job_id in allocs}
+
+    job_flows: Dict[int, List[Tuple[int, int]]] = {
+        job_id: pattern_flows(allocs[job_id], pattern, seed=seed)
+        for job_id, pattern in patterns.items()
+    }
+
+    contended = _phase_times(
+        tree, job_flows,
+        allocations=allocs if use_partition_routing else None,
+        capacity=capacity,
+    )
+    jobs: Dict[int, JobSlowdown] = {}
+    for job_id, flows in job_flows.items():
+        # Isolated: the job alone on the fabric, same routing regime.
+        alone = _phase_times(
+            tree, {job_id: flows},
+            allocations={job_id: allocs[job_id]} if use_partition_routing else None,
+            capacity=capacity,
+        )
+        jobs[job_id] = JobSlowdown(
+            job_id=job_id,
+            pattern=patterns[job_id],
+            flows=len(flows),
+            isolated_time=alone[job_id],
+            contended_time=contended[job_id],
+        )
+    return SlowdownReport(jobs=jobs)

@@ -1,0 +1,64 @@
+"""Routing substrate: static D-mod-k, Jigsaw partition routing, and the
+constructive rearrangeable-non-blocking router from the paper's proofs.
+
+Three routers with three distinct roles:
+
+* :mod:`repro.routing.dmodk` — the static routing fat-tree clusters
+  normally run (section 2.2); unaware of allocations, it happily routes a
+  job's traffic over links the job does not own (Figure 5, left).
+* :mod:`repro.routing.partition` — Jigsaw's adjusted routing (section 4):
+  D-mod-k mapped onto the allocated partition, with wraparound on the
+  remainder switches, so traffic only ever touches allocated links
+  (Figure 5, right).
+* :mod:`repro.routing.rearrange` — the constructive counterpart of the
+  Appendix A sufficiency proof: given *any* permutation of an
+  allocation's nodes, it produces a routing with at most one flow per
+  link per direction, demonstrating that legal allocations really are
+  rearrangeable non-blocking.
+"""
+
+from repro.routing.contention import (
+    ContentionReport,
+    JobContention,
+    contention_report,
+    link_load,
+    permutation_traffic,
+    route_flows,
+)
+from repro.routing.dmodk import Route, dmodk_route, route_stays_inside
+from repro.routing.partition import PartitionRouter
+from repro.routing.rearrange import (
+    FlowAssignment,
+    full_machine_allocation,
+    route_permutation,
+    verify_one_flow_per_link,
+)
+from repro.routing.subnet import SubnetManager
+from repro.routing.tables import (
+    ForwardingTables,
+    dmodk_tables,
+    partition_tables,
+    tables_use_only_allocated_links,
+)
+
+__all__ = [
+    "Route",
+    "dmodk_route",
+    "route_stays_inside",
+    "PartitionRouter",
+    "FlowAssignment",
+    "full_machine_allocation",
+    "route_permutation",
+    "verify_one_flow_per_link",
+    "ContentionReport",
+    "JobContention",
+    "contention_report",
+    "link_load",
+    "permutation_traffic",
+    "route_flows",
+    "ForwardingTables",
+    "dmodk_tables",
+    "partition_tables",
+    "tables_use_only_allocated_links",
+    "SubnetManager",
+]

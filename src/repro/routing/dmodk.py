@@ -1,0 +1,103 @@
+"""Static D-mod-k routing (Zahavi [35]; section 2.2 of the paper).
+
+D-mod-k is the deterministic routing most InfiniBand fat-tree clusters
+deploy: at every up-hop, the output port is chosen as a modulus of the
+destination address, which spreads the paths of shift permutations
+evenly over the links.  It is completely unaware of job allocations —
+which is exactly why a job-isolating scheduler must replace it inside
+partitions (Figure 5): the first up-hop of a packet is chosen by the
+destination address, not by link ownership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.allocator import Allocation
+from repro.topology.fattree import LinkId, SpineLinkId, XGFT
+
+
+@dataclass(frozen=True)
+class Route:
+    """The links one packet traverses from ``src`` to ``dst``.
+
+    All four link fields are ``None`` for intra-leaf traffic; the spine
+    fields are ``None`` for intra-pod traffic.  Up- and down-segments may
+    name the same cable identity on different pods' sides; directionality
+    is implied by the field (``up_leaf`` is traversed upward, etc.).
+    """
+
+    src: int
+    dst: int
+    up_leaf: Optional[LinkId] = None
+    spine_up: Optional[SpineLinkId] = None
+    spine_down: Optional[SpineLinkId] = None
+    down_leaf: Optional[LinkId] = None
+
+    def links(self) -> Iterator[tuple]:
+        """Yield ``(direction, link)`` pairs for every link on the route."""
+        if self.up_leaf is not None:
+            yield ("up", self.up_leaf)
+        if self.spine_up is not None:
+            yield ("up", self.spine_up)
+        if self.spine_down is not None:
+            yield ("down", self.spine_down)
+        if self.down_leaf is not None:
+            yield ("down", self.down_leaf)
+
+    @property
+    def hops(self) -> int:
+        """Number of switch-to-switch links traversed."""
+        return sum(1 for _ in self.links())
+
+
+def dmodk_route(tree: XGFT, src: int, dst: int) -> Route:
+    """The D-mod-k path from ``src`` to ``dst`` on the full tree.
+
+    The up-port at the leaf is ``dst mod m1`` (the destination's index
+    within its leaf) and the up-port at the L2 switch is ``(dst div m1)
+    mod m2`` (the destination leaf's index within its pod) — the standard
+    digit-decomposition that makes shift permutations contention-free on
+    a full tree.
+    """
+    if src == dst:
+        raise ValueError("a node does not route to itself")
+    src_leaf, dst_leaf = tree.leaf_of_node(src), tree.leaf_of_node(dst)
+    if src_leaf == dst_leaf:
+        return Route(src, dst)
+    i = tree.node_index_in_leaf(dst)
+    src_pod, dst_pod = tree.pod_of_leaf(src_leaf), tree.pod_of_leaf(dst_leaf)
+    if src_pod == dst_pod:
+        return Route(
+            src,
+            dst,
+            up_leaf=LinkId(src_leaf, i),
+            down_leaf=LinkId(dst_leaf, i),
+        )
+    j = tree.leaf_index_in_pod(dst_leaf)
+    return Route(
+        src,
+        dst,
+        up_leaf=LinkId(src_leaf, i),
+        spine_up=SpineLinkId(src_pod, i, j),
+        spine_down=SpineLinkId(dst_pod, i, j),
+        down_leaf=LinkId(dst_leaf, i),
+    )
+
+
+def route_stays_inside(route: Route, alloc: Allocation) -> bool:
+    """Whether every link of ``route`` is owned by ``alloc``.
+
+    Under plain D-mod-k this is routinely false (Figure 5, left) — the
+    reason Jigsaw must adjust routing tables when it places a job.
+    """
+    leaf_links = set(alloc.leaf_links)
+    spine_links = set(alloc.spine_links)
+    for _, link in route.links():
+        if isinstance(link, SpineLinkId):
+            if link not in spine_links:
+                return False
+        elif link not in leaf_links:
+            return False
+    return True

@@ -1,0 +1,119 @@
+"""Jigsaw's partition routing (section 4, Figure 5 right).
+
+Once Jigsaw places a job, the system routing must be adjusted so the
+job's traffic uses only the links allocated to it.  The paper obtains a
+valid routing by "mapping normal D-mod-k routing onto the partition and
+using wraparound for ports on remainder switches": the destination's
+rank *within the allocation* plays the role its global address plays in
+plain D-mod-k, indices are taken modulo the number of *allocated* links,
+and at remainder switches — which own fewer links — the modulus simply
+wraps around the smaller set.
+
+The key structural fact making this well-defined is that a spine in
+group ``i`` only connects L2 switches of index ``i``, so a flow's
+up-index at the source leaf equals its down-index at the destination
+leaf; the formal conditions guarantee the intersections used below are
+never empty (Sr ⊆ S and S*r_i ⊆ S*_i).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.core.allocator import Allocation
+from repro.routing.dmodk import Route
+from repro.topology.fattree import LinkId, SpineLinkId, XGFT
+
+
+class PartitionRouter:
+    """Oblivious per-packet routing confined to one job's allocation."""
+
+    def __init__(self, tree: XGFT, alloc: Allocation):
+        self.tree = tree
+        self.alloc = alloc
+        self._nodes = set(alloc.nodes)
+        #: allocated up-link L2 indices per leaf, sorted
+        self._leaf_up: Dict[int, List[int]] = defaultdict(list)
+        for leaf, i in alloc.leaf_links:
+            self._leaf_up[leaf].append(i)
+        for ups in self._leaf_up.values():
+            ups.sort()
+        #: allocated spine indices per (pod, L2 index), sorted
+        self._spines: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for pod, i, j in alloc.spine_links:
+            self._spines[(pod, i)].append(j)
+        for js in self._spines.values():
+            js.sort()
+        #: rank of each node within its leaf's allocated nodes
+        self._rank_in_leaf: Dict[int, int] = {}
+        #: rank of each allocated leaf within its pod's allocated leaves
+        self._leaf_rank: Dict[int, int] = {}
+        by_leaf: Dict[int, List[int]] = defaultdict(list)
+        for n in sorted(alloc.nodes):
+            by_leaf[tree.leaf_of_node(n)].append(n)
+        by_pod: Dict[int, List[int]] = defaultdict(list)
+        for leaf in sorted(by_leaf):
+            by_pod[tree.pod_of_leaf(leaf)].append(leaf)
+        for nodes in by_leaf.values():
+            for r, n in enumerate(nodes):
+                self._rank_in_leaf[n] = r
+        for leaves in by_pod.values():
+            for r, leaf in enumerate(leaves):
+                self._leaf_rank[leaf] = r
+
+    def route(self, src: int, dst: int) -> Route:
+        """D-mod-k-with-wraparound path from ``src`` to ``dst``.
+
+        Both endpoints must belong to the allocation; the returned route
+        touches only allocated links.
+        """
+        tree = self.tree
+        if src not in self._nodes or dst not in self._nodes:
+            raise ValueError("both endpoints must belong to the allocation")
+        if src == dst:
+            raise ValueError("a node does not route to itself")
+        src_leaf, dst_leaf = tree.leaf_of_node(src), tree.leaf_of_node(dst)
+        if src_leaf == dst_leaf:
+            return Route(src, dst)
+
+        # Up-index: D-mod-k uses the destination's index within its leaf;
+        # here that index selects among the L2 sets common to both leaves
+        # (equal to S, or to Sr when one endpoint sits on the remainder
+        # leaf — the "wraparound" case).
+        common = sorted(
+            set(self._leaf_up[src_leaf]) & set(self._leaf_up[dst_leaf])
+        )
+        if not common:
+            raise RuntimeError(
+                "no common allocated L2 index between leaves "
+                f"{src_leaf} and {dst_leaf}: allocation violates condition 4"
+            )
+        i = common[self._rank_in_leaf[dst] % len(common)]
+
+        src_pod, dst_pod = tree.pod_of_leaf(src_leaf), tree.pod_of_leaf(dst_leaf)
+        if src_pod == dst_pod:
+            return Route(
+                src,
+                dst,
+                up_leaf=LinkId(src_leaf, i),
+                down_leaf=LinkId(dst_leaf, i),
+            )
+
+        usable = sorted(
+            set(self._spines[(src_pod, i)]) & set(self._spines[(dst_pod, i)])
+        )
+        if not usable:
+            raise RuntimeError(
+                f"no common allocated spine at L2 index {i} between pods "
+                f"{src_pod} and {dst_pod}: allocation violates condition 6"
+            )
+        j = usable[self._leaf_rank[dst_leaf] % len(usable)]
+        return Route(
+            src,
+            dst,
+            up_leaf=LinkId(src_leaf, i),
+            spine_up=SpineLinkId(src_pod, i, j),
+            spine_down=SpineLinkId(dst_pod, i, j),
+            down_leaf=LinkId(dst_leaf, i),
+        )

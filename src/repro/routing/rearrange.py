@@ -1,0 +1,314 @@
+"""Constructive rearrangeable-non-blocking routing (Appendix A, made code).
+
+The paper proves that an allocation satisfying the formal conditions can
+route *any* permutation of its nodes with at most one flow per link per
+direction (Definition 1).  The proof is constructive — repeatedly pull
+out a set of flows covering every leaf exactly once (Hall's Marriage
+Theorem guarantees it exists), send the whole set across one center
+network, recurse — and this module executes that construction:
+
+1. flows are edges of a leaf-level multigraph; every leaf is padded with
+   dummy self-flows up to the common degree ``nL`` (the proof's
+   "augment the partition to a full fat-tree");
+2. the multigraph is ``nL``-regular and bipartite (sources x
+   destinations), so it decomposes into ``nL`` perfect matchings — each
+   matching is one "round" routed over one L2 index;
+3. rounds in which the remainder leaf carries a real inter-leaf flow are
+   assigned indices from ``Sr`` (the proof's Case 1 / Case 2 choice of
+   center network); the rest take the remaining indices of ``S``;
+4. within a round, cross-pod flows form a pod-level multigraph that is
+   decomposed the same way over the spine group ``T*_i``, with the
+   remainder subtree's rounds pinned to ``S*r_i``.
+
+The result is an explicit link assignment that
+:func:`verify_one_flow_per_link` can audit — the executable witness that
+Jigsaw allocations provide full interconnect bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.allocator import Allocation
+from repro.topology.fattree import LinkId, SpineLinkId, XGFT
+
+#: a flow is its (source node, destination node) pair
+Flow = Tuple[int, int]
+#: multigraph edge: (source vertex, destination vertex, payload or None)
+Edge = Tuple[Hashable, Hashable, Optional[Flow]]
+
+
+@dataclass(frozen=True)
+class FlowAssignment:
+    """The routing decision for one flow.
+
+    ``l2_index`` is the common up/down L2 index ``i`` (None for
+    intra-leaf flows); ``spine`` is the spine ``j`` within group ``i``
+    (None unless the flow crosses pods).
+    """
+
+    src: int
+    dst: int
+    l2_index: Optional[int] = None
+    spine: Optional[int] = None
+
+
+def full_machine_allocation(tree: XGFT) -> Allocation:
+    """The whole machine as one allocation (Theorem 5's full fat-tree)."""
+    return Allocation(
+        job_id=-1,
+        size=tree.num_nodes,
+        nodes=tuple(range(tree.num_nodes)),
+        leaf_links=tuple(tree.leaf_links()),
+        spine_links=tuple(tree.spine_links()),
+    )
+
+
+def _decompose_regular(edges: Sequence[Edge], degree: int) -> List[List[Edge]]:
+    """Split a ``degree``-regular directed multigraph (self-loops allowed)
+    into ``degree`` permutation rounds via repeated perfect matchings.
+
+    Hall's Marriage Theorem guarantees each matching exists: in a
+    k-regular bipartite multigraph every subset of sources touches at
+    least as many destinations.
+    """
+    if degree == 0:
+        return []
+    remaining: Dict[Tuple[Hashable, Hashable], List[Optional[Flow]]] = defaultdict(list)
+    vertices = set()
+    for u, v, payload in edges:
+        remaining[(u, v)].append(payload)
+        vertices.add(u)
+        vertices.add(v)
+    rounds: List[List[Edge]] = []
+    for _ in range(degree):
+        graph = nx.Graph()
+        graph.add_nodes_from(("s", u) for u in vertices)
+        graph.add_nodes_from(("d", v) for v in vertices)
+        for (u, v), payloads in remaining.items():
+            if payloads:
+                graph.add_edge(("s", u), ("d", v))
+        matching = nx.bipartite.hopcroft_karp_matching(
+            graph, top_nodes=[("s", u) for u in vertices]
+        )
+        this_round: List[Edge] = []
+        for u in vertices:
+            partner = matching.get(("s", u))
+            if partner is None:
+                raise RuntimeError(
+                    "no perfect matching: multigraph is not regular "
+                    "(allocation violates the formal conditions?)"
+                )
+            v = partner[1]
+            payload = remaining[(u, v)].pop()
+            this_round.append((u, v, payload))
+        rounds.append(this_round)
+    if any(payloads for payloads in remaining.values()):
+        raise RuntimeError("edges left over after decomposition")
+    return rounds
+
+
+def route_permutation(
+    tree: XGFT, alloc: Allocation, perm: Mapping[int, int]
+) -> Dict[Flow, FlowAssignment]:
+    """Route the permutation ``perm`` over ``alloc`` one-flow-per-link.
+
+    ``perm`` must be a bijection over ``alloc.nodes``.  Fixed points
+    (``perm[n] == n``) are allowed and consume no links.  Returns an
+    assignment for every non-fixed flow; raises if the allocation's
+    structure makes the construction impossible (i.e. the allocation is
+    not actually legal).
+    """
+    nodes = sorted(alloc.nodes)
+    if sorted(perm) != nodes or sorted(perm.values()) != nodes:
+        raise ValueError("perm must be a bijection over the allocation's nodes")
+
+    by_leaf: Dict[int, List[int]] = defaultdict(list)
+    for n in nodes:
+        by_leaf[tree.leaf_of_node(n)].append(n)
+    leaves = sorted(by_leaf)
+
+    flows: List[Flow] = [(s, d) for s, d in perm.items() if s != d]
+    out: Dict[Flow, FlowAssignment] = {}
+
+    if len(leaves) == 1:
+        for s, d in flows:
+            out[(s, d)] = FlowAssignment(s, d)
+        return out
+
+    leaf_up: Dict[int, List[int]] = defaultdict(list)
+    for leaf, i in alloc.leaf_links:
+        leaf_up[leaf].append(i)
+    for ups in leaf_up.values():
+        ups.sort()
+
+    n_l = max(len(by_leaf[leaf]) for leaf in leaves)
+    rem_leaves = [leaf for leaf in leaves if len(by_leaf[leaf]) < n_l]
+    if len(rem_leaves) > 1:
+        raise ValueError("allocation has more than one remainder leaf")
+    rem_leaf = rem_leaves[0] if rem_leaves else None
+    full_leaf = next(leaf for leaf in leaves if leaf != rem_leaf)
+    s_indices = list(leaf_up[full_leaf])
+    if len(s_indices) != n_l:
+        raise ValueError("leaf up/down imbalance: allocation is illegal")
+
+    # ------------------------------------------------------------------
+    # Leaf level: pad, decompose, and assign L2 indices to rounds.
+    # ------------------------------------------------------------------
+    edges: List[Edge] = [
+        (tree.leaf_of_node(s), tree.leaf_of_node(d), (s, d)) for s, d in perm.items()
+    ]
+    for leaf in leaves:
+        for _ in range(n_l - len(by_leaf[leaf])):
+            edges.append((leaf, leaf, None))
+    rounds = _decompose_regular(edges, n_l)
+
+    def needs_sr(rnd: List[Edge]) -> bool:
+        return any(
+            payload is not None and u != v and rem_leaf in (u, v)
+            for u, v, payload in rnd
+        )
+
+    sr_indices = list(leaf_up[rem_leaf]) if rem_leaf is not None else []
+    free_sr = list(sr_indices)
+    free_other = [i for i in s_indices if i not in sr_indices]
+    assigned: List[Tuple[int, List[Edge]]] = []
+    for rnd in sorted(rounds, key=needs_sr, reverse=True):
+        if needs_sr(rnd):
+            if not free_sr:
+                raise RuntimeError(
+                    "more remainder-leaf rounds than Sr indices: "
+                    "allocation is illegal"
+                )
+            assigned.append((free_sr.pop(), rnd))
+        else:
+            pool = free_other if free_other else free_sr
+            assigned.append((pool.pop(), rnd))
+
+    # ------------------------------------------------------------------
+    # Spine level: per round, decompose cross-pod flows over T*_i.
+    # ------------------------------------------------------------------
+    spines: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+    for pod, i, j in alloc.spine_links:
+        spines[(pod, i)].append(j)
+    for js in spines.values():
+        js.sort()
+    pods = sorted({tree.pod_of_leaf(leaf) for leaf in leaves})
+    pod_node_counts = Counter(tree.pod_of_node(n) for n in nodes)
+    n_t = max(pod_node_counts.values())
+    rem_pods = [p for p in pods if pod_node_counts[p] < n_t]
+    rem_pod = rem_pods[0] if rem_pods else None
+
+    for i, rnd in assigned:
+        real = [
+            (u, v, payload) for u, v, payload in rnd if payload is not None and u != v
+        ]
+        for u, v, payload in rnd:
+            if payload is None:
+                continue
+            s, d = payload
+            if u == v:
+                out[(s, d)] = FlowAssignment(s, d)  # intra-leaf
+        if not real:
+            continue
+        cross = [
+            (tree.pod_of_leaf(u), tree.pod_of_leaf(v), payload)
+            for u, v, payload in real
+        ]
+        intra_pod = [(p, q, f) for p, q, f in cross if p == q]
+        for _, _, (s, d) in intra_pod:
+            out[(s, d)] = FlowAssignment(s, d, l2_index=i)
+        cross = [(p, q, f) for p, q, f in cross if p != q]
+        if not cross:
+            continue
+
+        full_pod = next(p for p in pods if p != rem_pod)
+        star = list(spines[(full_pod, i)])
+        lt = len(star)
+        star_r = list(spines[(rem_pod, i)]) if rem_pod is not None else []
+        # Pad every allocated pod to degree lt with self-loops.
+        out_deg = Counter(p for p, _, _ in cross)
+        in_deg = Counter(q for _, q, _ in cross)
+        pod_edges: List[Edge] = list(cross)
+        for p in pods:
+            deficit_out = lt - out_deg.get(p, 0)
+            deficit_in = lt - in_deg.get(p, 0)
+            if deficit_out != deficit_in:
+                raise RuntimeError("pod in/out degrees differ within a round")
+            pod_edges.extend((p, p, None) for _ in range(deficit_out))
+        prounds = _decompose_regular(pod_edges, lt)
+
+        def touches_rem(prnd: List[Edge]) -> bool:
+            return any(
+                payload is not None and rem_pod in (u, v)
+                for u, v, payload in prnd
+            )
+
+        free_r = list(star_r)
+        free_o = [j for j in star if j not in star_r]
+        for prnd in sorted(prounds, key=touches_rem, reverse=True):
+            if touches_rem(prnd):
+                if not free_r:
+                    raise RuntimeError(
+                        "more remainder-pod rounds than S*r spines: "
+                        "allocation is illegal"
+                    )
+                j = free_r.pop()
+            else:
+                j = (free_o if free_o else free_r).pop()
+            for u, v, payload in prnd:
+                if payload is None or u == v:
+                    continue
+                s, d = payload
+                out[(s, d)] = FlowAssignment(s, d, l2_index=i, spine=j)
+
+    missing = [f for f in flows if f not in out]
+    if missing:
+        raise RuntimeError(f"{len(missing)} flows left unrouted")
+    return out
+
+
+def verify_one_flow_per_link(
+    tree: XGFT,
+    alloc: Allocation,
+    assignments: Mapping[Flow, FlowAssignment],
+) -> List[str]:
+    """Audit a routing: every link allocated, at most one flow per link
+    per direction.  Returns violation strings (empty = valid witness of
+    rearrangeable non-blocking behaviour)."""
+    violations: List[str] = []
+    leaf_links = set(alloc.leaf_links)
+    spine_links = set(alloc.spine_links)
+    multi_leaf = len({tree.leaf_of_node(n) for n in alloc.nodes}) > 1
+    usage: Counter = Counter()
+    for (s, d), fa in assignments.items():
+        src_leaf, dst_leaf = tree.leaf_of_node(s), tree.leaf_of_node(d)
+        if fa.l2_index is None:
+            if src_leaf != dst_leaf:
+                violations.append(f"flow {s}->{d} crosses leaves without links")
+            continue
+        up = LinkId(src_leaf, fa.l2_index)
+        down = LinkId(dst_leaf, fa.l2_index)
+        for direction, link in (("up", up), ("down", down)):
+            if multi_leaf and link not in leaf_links:
+                violations.append(f"flow {s}->{d} uses unallocated link {link}")
+            usage[(direction, link)] += 1
+        src_pod, dst_pod = tree.pod_of_leaf(src_leaf), tree.pod_of_leaf(dst_leaf)
+        if fa.spine is None:
+            if src_pod != dst_pod:
+                violations.append(f"flow {s}->{d} crosses pods without a spine")
+            continue
+        sup = SpineLinkId(src_pod, fa.l2_index, fa.spine)
+        sdown = SpineLinkId(dst_pod, fa.l2_index, fa.spine)
+        for direction, link in (("up", sup), ("down", sdown)):
+            if link not in spine_links:
+                violations.append(f"flow {s}->{d} uses unallocated link {link}")
+            usage[(direction, link)] += 1
+    for (direction, link), count in usage.items():
+        if count > 1:
+            violations.append(f"{count} flows share {direction} link {link}")
+    return violations

@@ -1,0 +1,130 @@
+"""The subnet manager: global routing state across the job lifecycle.
+
+Section 4: "The actual changing of the routing tables can be done on the
+fly, for example via the subnet management software on an InfiniBand
+system."  This module is that piece of system software, simulated: a
+:class:`SubnetManager` owns the fabric-wide forwarding state — the
+default D-mod-k tables — and, as jobs are placed and released, overlays
+and removes each job's partition-confined entries.
+
+Per-destination overlay semantics match the InfiniBand reality: a
+forwarding entry is indexed by destination, so the *destination's* owner
+decides the entry.  Traffic to a node of job J follows J's partition
+tables (and J's sources only ever target J's nodes, so J's traffic stays
+inside its allocation); traffic to free nodes follows the default
+D-mod-k entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.allocator import Allocation
+from repro.routing.tables import ForwardingTables, dmodk_tables, partition_tables
+from repro.topology.fattree import XGFT
+
+Switch = Tuple
+
+
+class SubnetManager:
+    """Fabric-wide forwarding state with per-job overlays.
+
+    >>> sm = SubnetManager(tree)
+    >>> sm.install(alloc)          # on job start
+    >>> sm.forward(src, dst)       # hop-by-hop switch path
+    >>> sm.remove(alloc.job_id)    # on job completion
+    """
+
+    def __init__(self, tree: XGFT):
+        self.tree = tree
+        self._default = dmodk_tables(tree)
+        #: per-switch destination overrides: switch -> dst -> port
+        self._overlay: Dict[Switch, Dict[int, int]] = {}
+        #: which (switch, dst) entries each job installed
+        self._installed: Dict[int, List[Tuple[Switch, int]]] = {}
+        #: owner job per node destination (for diagnostics)
+        self._dst_owner: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def install(self, alloc: Allocation) -> int:
+        """Overlay the job's partition routing; returns entries written.
+
+        The update is the paper's "on the fly" table change: only entries
+        for the job's own destinations are touched, so other traffic is
+        never disrupted.
+        """
+        if alloc.job_id in self._installed:
+            raise ValueError(f"job {alloc.job_id} already installed")
+        for node in alloc.nodes:
+            owner = self._dst_owner.get(node)
+            if owner is not None:
+                raise ValueError(
+                    f"node {node} already routed for job {owner}"
+                )
+        tables = partition_tables(self.tree, alloc)
+        written: List[Tuple[Switch, int]] = []
+        for switch, table in tables.tables.items():
+            overlay = self._overlay.setdefault(switch, {})
+            for dst, port in table.items():
+                overlay[dst] = port
+                written.append((switch, dst))
+        for node in alloc.nodes:
+            self._dst_owner[node] = alloc.job_id
+        self._installed[alloc.job_id] = written
+        return len(written)
+
+    def remove(self, job_id: int) -> int:
+        """Remove the job's overlay entries; returns entries removed."""
+        try:
+            written = self._installed.pop(job_id)
+        except KeyError:
+            raise ValueError(f"job {job_id} has no installed routes") from None
+        for switch, dst in written:
+            overlay = self._overlay.get(switch)
+            if overlay is not None:
+                overlay.pop(dst, None)
+                if not overlay:
+                    del self._overlay[switch]
+        for node, owner in list(self._dst_owner.items()):
+            if owner == job_id:
+                del self._dst_owner[node]
+        return len(written)
+
+    # ------------------------------------------------------------------
+    def port(self, switch: Switch, dst: int) -> int:
+        """Effective output port: the overlay wins over the default."""
+        overlay = self._overlay.get(switch)
+        if overlay is not None and dst in overlay:
+            return overlay[dst]
+        return self._default.port(switch, dst)
+
+    def forward(self, src: int, dst: int, max_hops: int = 8) -> List[Switch]:
+        """Walk a packet through the effective tables (see
+        :meth:`repro.routing.tables.ForwardingTables.forward`)."""
+        view = _EffectiveTables(self)
+        return ForwardingTables.forward(view, src, dst, max_hops=max_hops)
+
+    # ------------------------------------------------------------------
+    def owner_of_destination(self, node: int) -> Optional[int]:
+        """The job whose overlay governs traffic to ``node`` (None = default)."""
+        return self._dst_owner.get(node)
+
+    @property
+    def installed_jobs(self) -> Set[int]:
+        return set(self._installed)
+
+    @property
+    def overlay_entries(self) -> int:
+        """Total overridden (switch, destination) entries."""
+        return sum(len(t) for t in self._overlay.values())
+
+
+class _EffectiveTables:
+    """Adapter giving :meth:`ForwardingTables.forward` the merged view."""
+
+    def __init__(self, manager: SubnetManager):
+        self.tree = manager.tree
+        self._manager = manager
+
+    def port(self, switch: Switch, dst: int) -> int:
+        return self._manager.port(switch, dst)

@@ -1,0 +1,221 @@
+"""Switch forwarding tables (the subnet-manager view of routing).
+
+InfiniBand fat-trees route with per-switch **linear forwarding tables**
+(LFTs): each switch maps a destination node to one output port.  The
+paper's section 4 notes that once Jigsaw places a job, "the actual
+changing of the routing tables can be done on the fly, for example via
+the subnet management software" — this module builds those tables, both
+for plain D-mod-k over the whole fabric and for a Jigsaw partition, so
+the routing adjustment is a concrete, inspectable artifact rather than
+an abstract path function.
+
+Port-numbering convention per switch type (all 0-based):
+
+* **leaf** switch ``l``: ports ``0..m1-1`` go down to its nodes (port
+  ``i`` to node ``l*m1 + i``); ports ``m1..2*m1-1`` go up (port
+  ``m1 + i`` on the cable ``LinkId(l, i)``).
+* **L2** switch ``(pod, i)``: ports ``0..m2-1`` go down to leaves (port
+  ``k`` on the cable ``LinkId(pod*m2 + k, i)``); ports ``m2..2*m2-1``
+  go up (port ``m2 + j`` on the cable ``SpineLinkId(pod, i, j)``).
+* **spine** ``(group, j)``: port ``p`` goes down to pod ``p`` on the
+  cable ``SpineLinkId(p, group, j)``.
+
+:func:`forward` walks a packet hop by hop through the tables — the test
+suite uses it to prove that table-driven forwarding reaches every
+destination and that partition tables never leave the allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.allocator import Allocation
+from repro.routing.partition import PartitionRouter
+from repro.topology.fattree import LinkId, SpineLinkId, XGFT
+
+#: switch identity: ("leaf", leaf), ("l2", pod, i) or ("spine", group, j)
+Switch = Tuple
+
+
+@dataclass
+class ForwardingTables:
+    """Destination-indexed output-port tables for every switch."""
+
+    tree: XGFT
+    #: ("leaf", l) / ("l2", pod, i) / ("spine", group, j) -> dst -> port
+    tables: Dict[Switch, Dict[int, int]] = field(default_factory=dict)
+
+    def port(self, switch: Switch, dst: int) -> int:
+        """Output port of ``switch`` for destination node ``dst``."""
+        try:
+            return self.tables[switch][dst]
+        except KeyError:
+            raise KeyError(f"switch {switch} has no route to node {dst}") from None
+
+    # ------------------------------------------------------------------
+    # Hop-by-hop packet walk
+    # ------------------------------------------------------------------
+    def forward(self, src: int, dst: int, max_hops: int = 8) -> List[Switch]:
+        """Walk a packet from ``src`` to ``dst``; returns switches visited.
+
+        Raises ``RuntimeError`` on a forwarding loop or dead end.
+        """
+        tree = self.tree
+        if src == dst:
+            return []
+        visited: List[Switch] = []
+        switch: Switch = ("leaf", tree.leaf_of_node(src))
+        for _ in range(max_hops):
+            visited.append(switch)
+            port = self.port(switch, dst)
+            kind = switch[0]
+            if kind == "leaf":
+                leaf = switch[1]
+                if port < tree.m1:  # down to a node
+                    node = leaf * tree.m1 + port
+                    if node != dst:
+                        raise RuntimeError(
+                            f"leaf {leaf} delivered to wrong node {node}"
+                        )
+                    return visited
+                i = port - tree.m1
+                switch = ("l2", tree.pod_of_leaf(leaf), i)
+            elif kind == "l2":
+                _, pod, i = switch
+                if port < tree.m2:  # down to a leaf
+                    switch = ("leaf", pod * tree.m2 + port)
+                else:  # up to a spine
+                    switch = ("spine", i, port - tree.m2)
+            else:  # spine: port p leads down to pod p at this group's index
+                _, group, _j = switch
+                switch = ("l2", port, group)
+        raise RuntimeError(f"forwarding loop routing {src} -> {dst}")
+
+
+def dmodk_tables(tree: XGFT) -> ForwardingTables:
+    """Full-fabric D-mod-k tables (what the subnet manager installs by
+    default; oblivious to job allocations)."""
+    ft = ForwardingTables(tree)
+    for leaf in range(tree.num_leaves):
+        table: Dict[int, int] = {}
+        for dst in range(tree.num_nodes):
+            if tree.leaf_of_node(dst) == leaf:
+                table[dst] = tree.node_index_in_leaf(dst)
+            else:
+                table[dst] = tree.m1 + tree.node_index_in_leaf(dst)
+        ft.tables[("leaf", leaf)] = table
+    for pod in range(tree.num_pods):
+        for i in range(tree.l2_per_pod):
+            table = {}
+            for dst in range(tree.num_nodes):
+                if tree.pod_of_node(dst) == pod:
+                    table[dst] = tree.leaf_index_in_pod(tree.leaf_of_node(dst))
+                else:
+                    table[dst] = tree.m2 + tree.leaf_index_in_pod(
+                        tree.leaf_of_node(dst)
+                    )
+            ft.tables[("l2", pod, i)] = table
+    for group in range(tree.num_spine_groups):
+        for j in range(tree.spines_per_group):
+            table = {dst: tree.pod_of_node(dst) for dst in range(tree.num_nodes)}
+            ft.tables[("spine", group, j)] = table
+    return ft
+
+
+def partition_tables(tree: XGFT, alloc: Allocation) -> ForwardingTables:
+    """Per-job tables confined to the allocation (section 4's adjustment).
+
+    Built by asking the partition router for the path of every
+    source-destination pair and recording the per-switch decisions.
+    Because the router is destination-deterministic at each hop given
+    the entry switch, the union of decisions is a consistent table.
+    """
+    ft = ForwardingTables(tree)
+    router = PartitionRouter(tree, alloc)
+    nodes = sorted(alloc.nodes)
+
+    def leaf_table(leaf: int) -> Dict[int, int]:
+        return ft.tables.setdefault(("leaf", leaf), {})
+
+    def l2_table(pod: int, i: int) -> Dict[int, int]:
+        return ft.tables.setdefault(("l2", pod, i), {})
+
+    def spine_table(group: int, j: int) -> Dict[int, int]:
+        return ft.tables.setdefault(("spine", group, j), {})
+
+    def set_port(table: Dict[int, int], dst: int, port: int, where: str) -> None:
+        old = table.get(dst)
+        if old is not None and old != port:
+            raise RuntimeError(
+                f"conflicting table entry at {where} for destination {dst}"
+            )
+        table[dst] = port
+
+    for src in nodes:
+        src_leaf = tree.leaf_of_node(src)
+        # delivery at the destination leaf
+        set_port(
+            leaf_table(src_leaf), src, tree.node_index_in_leaf(src),
+            f"leaf {src_leaf}",
+        )
+        for dst in nodes:
+            if src == dst:
+                continue
+            route = router.route(src, dst)
+            if route.up_leaf is None:
+                continue
+            i = route.up_leaf.l2_index
+            set_port(
+                leaf_table(src_leaf), dst, tree.m1 + i, f"leaf {src_leaf}"
+            )
+            dst_leaf = tree.leaf_of_node(dst)
+            src_pod = tree.pod_of_leaf(src_leaf)
+            dst_pod = tree.pod_of_leaf(dst_leaf)
+            if route.spine_up is None:
+                set_port(
+                    l2_table(src_pod, i), dst,
+                    tree.leaf_index_in_pod(dst_leaf), f"l2 ({src_pod},{i})",
+                )
+            else:
+                j = route.spine_up.spine_index
+                set_port(
+                    l2_table(src_pod, i), dst, tree.m2 + j,
+                    f"l2 ({src_pod},{i})",
+                )
+                set_port(spine_table(i, j), dst, dst_pod, f"spine ({i},{j})")
+                set_port(
+                    l2_table(dst_pod, i), dst,
+                    tree.leaf_index_in_pod(dst_leaf), f"l2 ({dst_pod},{i})",
+                )
+    return ft
+
+
+def tables_use_only_allocated_links(
+    tree: XGFT, ft: ForwardingTables, alloc: Allocation
+) -> bool:
+    """Audit: every up/down table entry corresponds to an allocated cable."""
+    leaf_links = set(alloc.leaf_links)
+    spine_links = set(alloc.spine_links)
+    multi_leaf = len({tree.leaf_of_node(n) for n in alloc.nodes}) > 1
+    for switch, table in ft.tables.items():
+        kind = switch[0]
+        for dst, port in table.items():
+            if kind == "leaf":
+                leaf = switch[1]
+                if port >= tree.m1:
+                    if multi_leaf and LinkId(leaf, port - tree.m1) not in leaf_links:
+                        return False
+            elif kind == "l2":
+                _, pod, i = switch
+                if port >= tree.m2:
+                    if SpineLinkId(pod, i, port - tree.m2) not in spine_links:
+                        return False
+                else:
+                    if multi_leaf and LinkId(pod * tree.m2 + port, i) not in leaf_links:
+                        return False
+            else:
+                _, group, j = switch
+                if SpineLinkId(port, group, j) not in spine_links:
+                    return False
+    return True

@@ -1,0 +1,85 @@
+"""Structured schedule log: every scheduling decision, exportable.
+
+Pass a :class:`ScheduleLog` to the simulator to capture an audit trail:
+job arrivals, starts (with how the start happened: FIFO head, EASY
+backfill, or a conservative reservation coming due), and completions.
+The log exports to CSV for external analysis and answers the usual
+debugging questions (what fraction of starts were backfills? how long
+did job X wait and why?).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Counter as CounterType
+from collections import Counter
+from typing import List, Optional, TextIO, Union
+
+#: event kinds, in the order they can occur for one job
+KINDS = ("arrive", "start", "complete")
+#: how a start happened
+VIAS = ("fifo", "backfill", "reserved")
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One scheduling decision."""
+
+    time: float
+    kind: str  # arrive | start | complete
+    job_id: int
+    size: int
+    #: for starts: how the job was selected (fifo/backfill/reserved)
+    via: Optional[str] = None
+
+
+@dataclass
+class ScheduleLog:
+    """Append-only audit trail collected by the simulator."""
+
+    events: List[ScheduleEvent] = field(default_factory=list)
+
+    def record(
+        self, time: float, kind: str, job_id: int, size: int,
+        via: Optional[str] = None,
+    ) -> None:
+        """Append one event (validated against KINDS/VIAS)."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        if via is not None and via not in VIAS:
+            raise ValueError(f"unknown start mechanism {via!r}")
+        self.events.append(ScheduleEvent(time, kind, job_id, size, via))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_job(self, job_id: int) -> List[ScheduleEvent]:
+        """Every event of one job, in order."""
+        return [e for e in self.events if e.job_id == job_id]
+
+    def start_mechanisms(self) -> CounterType[str]:
+        """How starts happened: Counter of fifo/backfill/reserved."""
+        return Counter(
+            e.via for e in self.events if e.kind == "start" and e.via
+        )
+
+    @property
+    def backfill_fraction(self) -> float:
+        """Share of starts that jumped the queue (0 when none started)."""
+        mechanisms = self.start_mechanisms()
+        total = sum(mechanisms.values())
+        return mechanisms.get("backfill", 0) / total if total else 0.0
+
+    def to_csv(self, target: Union[str, Path, TextIO]) -> None:
+        """Write the log as CSV (time, kind, job_id, size, via)."""
+        if isinstance(target, (str, Path)):
+            with open(target, "w", newline="", encoding="utf-8") as fh:
+                self.to_csv(fh)
+                return
+        writer = csv.writer(target)
+        writer.writerow(["time", "kind", "job_id", "size", "via"])
+        for e in self.events:
+            writer.writerow([e.time, e.kind, e.job_id, e.size, e.via or ""])

@@ -1,0 +1,235 @@
+"""Metrics of the paper's evaluation (section 5).
+
+* **Average system utilization** — requested node-seconds divided by
+  available node-seconds, restricted to the *steady-state* portion of the
+  simulation: the periods where the queue is non-empty, i.e. the system
+  is actually under demand.  Idle nodes while jobs wait are scheduler
+  loss (fragmentation); idle nodes with an empty queue are not.
+* **Instantaneous utilization** — sampled at every schedule/completion
+  event, binned into the ranges of Table 2.
+* **Turnaround time** — arrival to completion, averaged over all jobs
+  and over large jobs (> 100 nodes), per Figure 7.
+* **Makespan** — first arrival to last completion (Figure 8).
+* **Scheduling time** — wall-clock seconds inside the allocator per job
+  (Table 3).
+
+Utilization counts only *requested* nodes: a LaaS job padded from 11 to
+12 nodes contributes 11 — its padding is internal fragmentation, which
+is exactly why LaaS cannot reach 98 % instantaneous utilization in
+Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Table 2's instantaneous-utilization ranges, as (label, lo, hi) with
+#: samples classified by lo <= u < hi (the top bin includes 100).
+INSTANT_BINS = (
+    (">=98", 98.0, 100.0001),
+    ("95-97", 95.0, 98.0),
+    ("90-95", 90.0, 95.0),
+    ("80-90", 80.0, 90.0),
+    ("60-80", 60.0, 80.0),
+    ("<=60", -0.0001, 60.0),
+)
+
+#: Figure 7's "large job" threshold, in nodes.
+LARGE_JOB_NODES = 100
+
+
+@dataclass
+class InstantHistogram:
+    """Counts of instantaneous-utilization samples per Table 2 bin."""
+
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {label: 0 for label, _, _ in INSTANT_BINS}
+    )
+    total: int = 0
+
+    def add(self, utilization_pct: float) -> None:
+        """Classify one instantaneous-utilization sample into its bin."""
+        for label, lo, hi in INSTANT_BINS:
+            if lo <= utilization_pct < hi:
+                self.counts[label] += 1
+                self.total += 1
+                return
+        raise ValueError(f"utilization {utilization_pct} outside [0, 100]")
+
+    def fraction(self, label: str) -> float:
+        """Share of samples in the named bin (0 when no samples)."""
+        return self.counts[label] / self.total if self.total else 0.0
+
+    def as_row(self) -> Dict[str, int]:
+        """The bin counts as a plain dict (one Table 2 row)."""
+        return dict(self.counts)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable snapshot of one job's outcome in one simulation run.
+
+    Jobs themselves are shared, mutable objects reused across runs; the
+    result of a run must not change when the same trace is replayed
+    against another scheme, so every run snapshots its outcomes.
+    """
+
+    job_id: int
+    size: int
+    arrival: float
+    start: float
+    end: float
+
+    @property
+    def turnaround(self) -> float:
+        return self.end - self.arrival
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.arrival
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produced."""
+
+    scheme: str
+    trace_name: str
+    system_nodes: int
+    jobs: List[JobRecord]
+    makespan: float
+    #: node-seconds of requested work done while the queue was non-empty
+    busy_area: float
+    #: node-seconds available while the queue was non-empty
+    demand_area: float
+    #: node-seconds of requested work over the whole simulation
+    total_busy_area: float
+    instant: InstantHistogram
+    #: wall-clock seconds spent inside allocate()/release()
+    sched_seconds: float
+    #: number of allocation attempts (successes + failures)
+    alloc_attempts: int
+    #: ids of jobs that could never be started (should be empty)
+    unscheduled: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def steady_state_utilization(self) -> float:
+        """Average utilization (%) over the under-demand portion."""
+        if self.demand_area <= 0:
+            return 100.0
+        return 100.0 * self.busy_area / self.demand_area
+
+    @property
+    def overall_utilization(self) -> float:
+        """Average utilization (%) over the entire makespan."""
+        area = self.system_nodes * self.makespan
+        return 100.0 * self.total_busy_area / area if area else 0.0
+
+    @property
+    def mean_turnaround(self) -> float:
+        return _mean([j.turnaround for j in self.jobs])
+
+    @property
+    def mean_turnaround_large(self) -> float:
+        """Mean turnaround of jobs larger than 100 nodes (NaN if none)."""
+        return _mean(
+            [j.turnaround for j in self.jobs if j.size > LARGE_JOB_NODES]
+        )
+
+    @property
+    def mean_wait(self) -> float:
+        return _mean([j.wait for j in self.jobs])
+
+    @property
+    def mean_sched_time_per_job(self) -> float:
+        """Table 3's metric: allocator wall-clock seconds per job."""
+        return self.sched_seconds / len(self.jobs) if self.jobs else 0.0
+
+    def mean_bounded_slowdown(self, tau: float = 10.0) -> float:
+        """Mean bounded slowdown (Feitelson's standard fairness metric):
+        ``max(1, turnaround / max(run_time, tau))`` per job, with the
+        ``tau`` floor keeping very short jobs from dominating."""
+        if not self.jobs:
+            return float("nan")
+        total = 0.0
+        for r in self.jobs:
+            run_time = max(r.end - r.start, tau)
+            total += max(1.0, r.turnaround / run_time)
+        return total / len(self.jobs)
+
+    def turnaround_by_size_class(
+        self, bounds: Sequence[int] = (1, 4, 16, 64, 256)
+    ) -> Dict[str, float]:
+        """Mean turnaround per job-size class.
+
+        ``bounds`` are inclusive upper edges; a final open class collects
+        everything larger.  Classes with no jobs are omitted.
+        """
+        edges = sorted(bounds)
+        labels: List[str] = []
+        lo = 1
+        for hi in edges:
+            labels.append(f"{lo}-{hi}" if lo != hi else str(hi))
+            lo = hi + 1
+        labels.append(f">{edges[-1]}")
+        classes: Dict[str, List[float]] = {label: [] for label in labels}
+        for r in self.jobs:
+            label = labels[-1]
+            lo = 1
+            for idx, hi in enumerate(edges):
+                if r.size <= hi:
+                    label = labels[idx]
+                    break
+            classes[label].append(r.turnaround)
+        # insertion order is size order; empty classes are omitted
+        return {
+            label: _mean(vals) for label, vals in classes.items() if vals
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.scheme:>9} on {self.trace_name}: "
+            f"util={self.steady_state_utilization:5.1f}%  "
+            f"makespan={self.makespan:12.0f}s  "
+            f"turnaround={self.mean_turnaround:10.0f}s  "
+            f"sched={self.mean_sched_time_per_job * 1e3:7.3f}ms/job"
+        )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def utilization_timeline(
+    result: SimResult, buckets: int = 20
+) -> List[Tuple[float, float]]:
+    """Time-bucketed utilization series reconstructed from job records.
+
+    Returns ``buckets`` points ``(bucket start time, utilization %)``
+    over the makespan — the "utilization over time" view that makes
+    drain dips and steady-state plateaus visible.  Counts requested
+    nodes, like every other utilization figure here.
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be positive")
+    if not result.jobs or result.makespan <= 0:
+        return [(0.0, 0.0)] * buckets
+    t0 = min(r.arrival for r in result.jobs)
+    width = result.makespan / buckets
+    area = [0.0] * buckets
+    for r in result.jobs:
+        start, end = r.start - t0, r.end - t0
+        first = max(0, min(buckets - 1, int(start // width)))
+        last = max(0, min(buckets - 1, int((end - 1e-12) // width)))
+        for b in range(first, last + 1):
+            lo = max(start, b * width)
+            hi = min(end, (b + 1) * width)
+            if hi > lo:
+                area[b] += r.size * (hi - lo)
+    cap = result.system_nodes * width
+    return [
+        (t0 + b * width, 100.0 * area[b] / cap) for b in range(buckets)
+    ]

@@ -1,0 +1,435 @@
+"""Discrete-event scheduler simulator (the evaluation vehicle, section 5).
+
+The simulator replays a job-queue trace against one allocator:
+
+* job arrivals and completions are the events;
+* scheduling is FIFO + EASY backfilling with a lookahead window
+  (:mod:`repro.sched.backfill`), run after every event batch;
+* jobs run for their base run time under Baseline and for their
+  isolated (sped-up) run time under the low-interference schemes;
+* walltime estimates are perfect (actual run times), as is conventional
+  for trace replay;
+* metrics are accumulated exactly as section 5 defines them
+  (:mod:`repro.sched.metrics`).
+
+Within one scheduling pass, allocation failures are memoized by
+(effective size, bandwidth need): state only shrinks during a pass, so a
+failed size stays failed — this makes wide backfill windows cheap
+without changing any scheduling decision.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.allocator import Allocator
+from repro.sched.backfill import Reservation, compute_reservation, may_backfill
+from repro.sched.job import Job
+from repro.sched.metrics import InstantHistogram, JobRecord, SimResult
+
+_COMPLETION = 0
+_ARRIVAL = 1
+
+
+class Simulator:
+    """Replay a trace against one allocator and measure the outcome.
+
+    Parameters
+    ----------
+    allocator:
+        A fresh allocator (its cluster must be idle).
+    backfill_window:
+        How many queued jobs past the head EASY may consider (the paper
+        uses 50; 0 disables backfilling, i.e. pure FIFO).
+    """
+
+    #: how the head's reservation evolves while it waits:
+    #: ``renew`` (default) — honored until its shadow time passes, then
+    #: recomputed; ``sticky`` — computed once, honored until the head
+    #: starts (forces drains); ``slip`` — recomputed at every event (the
+    #: shadow can slip forever under constrained allocators).
+    RESERVATION_POLICIES = ("renew", "sticky", "slip")
+
+    #: how out-of-order starts are planned: ``easy`` (single head
+    #: reservation, the paper's setup) or ``conservative`` (every queued
+    #: job in the window holds a reservation; nothing delays an earlier
+    #: one — a classic alternative, provided as an extension)
+    BACKFILL_POLICIES = ("easy", "conservative")
+
+    #: how the waiting queue is ordered: ``fifo`` (arrival order, the
+    #: paper's setup) or one of the classic priority orders, provided as
+    #: extensions: ``sjf`` (shortest estimated walltime first),
+    #: ``smallest``/``largest`` (by node count).  Ties fall back to
+    #: arrival order.
+    QUEUE_ORDERS = ("fifo", "sjf", "smallest", "largest")
+
+    def __init__(
+        self,
+        allocator: Allocator,
+        backfill_window: int = 50,
+        reservation_policy: str = "renew",
+        backfill_policy: str = "easy",
+        estimate_factor: float = 1.0,
+        runtime_model=None,
+        queue_order: str = "fifo",
+        event_log=None,
+    ):
+        if not allocator.state.is_idle():
+            raise ValueError("allocator must start idle")
+        if reservation_policy not in self.RESERVATION_POLICIES:
+            raise ValueError(
+                f"unknown reservation policy {reservation_policy!r}; "
+                f"expected one of {self.RESERVATION_POLICIES}"
+            )
+        if backfill_policy not in self.BACKFILL_POLICIES:
+            raise ValueError(
+                f"unknown backfill policy {backfill_policy!r}; "
+                f"expected one of {self.BACKFILL_POLICIES}"
+            )
+        if estimate_factor < 1.0:
+            raise ValueError("estimate_factor must be >= 1 (users overestimate)")
+        if queue_order not in self.QUEUE_ORDERS:
+            raise ValueError(
+                f"unknown queue order {queue_order!r}; "
+                f"expected one of {self.QUEUE_ORDERS}"
+            )
+        if queue_order != "fifo" and backfill_policy != "easy":
+            raise ValueError(
+                "priority queue orders are only supported with EASY backfilling"
+            )
+        self.allocator = allocator
+        self.backfill_window = backfill_window
+        self.reservation_policy = reservation_policy
+        self.backfill_policy = backfill_policy
+        #: walltime estimates are actual runtimes scaled by this factor
+        #: (1.0 = the paper's perfect estimates)
+        self.estimate_factor = estimate_factor
+        #: optional contention-aware runtime model (see
+        #: :mod:`repro.sched.interference`); when set, it replaces the
+        #: scenario-based speed-ups entirely: runtimes are the jobs' base
+        #: runtimes extended by the measured contention factor
+        self.runtime_model = runtime_model
+        self.queue_order = queue_order
+        #: optional :class:`repro.sched.log.ScheduleLog` audit trail
+        self.event_log = event_log
+        self.low_interference = allocator.low_interference
+        #: the head job's current reservation: (job id, Reservation)
+        self._sticky: Optional[Tuple[int, Reservation]] = None
+
+    # ------------------------------------------------------------------
+    def run(self, trace, trace_name: Optional[str] = None) -> SimResult:
+        """Simulate ``trace`` (a ``Trace`` or a sequence of jobs)."""
+        jobs: List[Job] = list(getattr(trace, "jobs", trace))
+        name = trace_name or getattr(trace, "name", "trace")
+        self._sticky = None
+        tree = self.allocator.tree
+        for job in jobs:
+            job.reset()
+            if self.allocator.effective_size(job.size) > tree.num_nodes:
+                raise ValueError(
+                    f"job {job.id} needs {job.size} nodes "
+                    f"(effective {self.allocator.effective_size(job.size)}) "
+                    f"but the cluster has {tree.num_nodes}"
+                )
+
+        # Event heap: (time, kind, seq, job); completions sort before
+        # arrivals at equal times so resources free up first.
+        seq = count()
+        events: List[Tuple[float, int, int, Job]] = [
+            (job.arrival, _ARRIVAL, next(seq), job) for job in jobs
+        ]
+        heapq.heapify(events)
+
+        queue: List[Job] = []
+        head = 0
+        #: priority heap used instead of the FIFO list for non-FIFO orders
+        pheap: List[Tuple[float, int, Job]] = []
+        started_out_of_order: set = set()
+        pending = 0
+        running: Dict[int, Tuple[float, int]] = {}
+        cur_busy = 0  # requested nodes currently computing
+
+        instant = InstantHistogram()
+        busy_area = 0.0
+        demand_area = 0.0
+        total_busy_area = 0.0
+        last_t = min((j.arrival for j in jobs), default=0.0)
+        n_system = tree.num_nodes
+        unscheduled: List[Job] = []
+
+        def advance(t: float) -> None:
+            nonlocal busy_area, demand_area, total_busy_area, last_t
+            dt = t - last_t
+            if dt > 0:
+                total_busy_area += cur_busy * dt
+                if pending > 0:
+                    busy_area += cur_busy * dt
+                    demand_area += n_system * dt
+                last_t = t
+
+        def sample() -> None:
+            if pending > 0:
+                instant.add(100.0 * cur_busy / n_system)
+
+        def eff(job: Job) -> int:
+            return self.allocator.effective_size(job.size)
+
+        def walltime_est(job: Job) -> float:
+            """The (possibly overestimated) walltime planning uses."""
+            return job.runtime_under(self.low_interference) * self.estimate_factor
+
+        def try_start(job: Job, now: float, via: str = "fifo") -> bool:
+            nonlocal cur_busy
+            alloc = self.allocator.allocate(job.id, job.size, bw_need=job.bw_need)
+            if alloc is None:
+                return False
+            if self.event_log is not None:
+                self.event_log.record(now, "start", job.id, job.size, via)
+            job.start = now
+            if self.runtime_model is not None:
+                factor = self.runtime_model.on_start(
+                    alloc, self.allocator.isolating
+                )
+                actual = job.runtime * factor
+            else:
+                actual = job.runtime_under(self.low_interference)
+            job.end = now + actual
+            heapq.heappush(events, (job.end, _COMPLETION, next(seq), job))
+            # Planning sees the *estimated* completion time.
+            running[job.id] = (now + actual * self.estimate_factor, eff(job))
+            cur_busy += job.size
+            return True
+
+        priority_key = None
+        if self.queue_order == "sjf":
+            priority_key = walltime_est
+        elif self.queue_order == "smallest":
+            priority_key = lambda job: job.size  # noqa: E731
+        elif self.queue_order == "largest":
+            priority_key = lambda job: -job.size  # noqa: E731
+
+        def enqueue(job: Job) -> None:
+            nonlocal pending
+            if priority_key is None:
+                queue.append(job)
+            else:
+                heapq.heappush(pheap, (priority_key(job), next(seq), job))
+            pending += 1
+
+        def peek_head() -> Optional[Job]:
+            nonlocal head
+            if priority_key is None:
+                while head < len(queue) and queue[head].id in started_out_of_order:
+                    head += 1
+                return queue[head] if head < len(queue) else None
+            while pheap and pheap[0][2].id in started_out_of_order:
+                started_out_of_order.discard(pheap[0][2].id)
+                heapq.heappop(pheap)
+            return pheap[0][2] if pheap else None
+
+        def advance_head() -> None:
+            nonlocal head
+            if priority_key is None:
+                head += 1
+            else:
+                heapq.heappop(pheap)
+
+        def window_candidates():
+            """Up to ``backfill_window`` waiting jobs after the head, in
+            queue order."""
+            if priority_key is None:
+                yielded = 0
+                idx = head
+                while yielded < self.backfill_window:
+                    idx += 1
+                    if idx >= len(queue):
+                        return
+                    cand = queue[idx]
+                    if cand.id in started_out_of_order:
+                        continue
+                    yielded += 1
+                    yield cand
+                return
+            take = self.backfill_window + 1 + len(started_out_of_order)
+            snapshot = heapq.nsmallest(take, pheap)
+            yielded = 0
+            skipped_head = False
+            for _, _, cand in snapshot:
+                if cand.id in started_out_of_order:
+                    continue
+                if not skipped_head:
+                    skipped_head = True  # the head itself is not a candidate
+                    continue
+                yielded += 1
+                yield cand
+                if yielded >= self.backfill_window:
+                    return
+
+        def conservative_schedule(now: float) -> None:
+            """Every job in the window gets a reservation; a job starts
+            only if its reservation is 'now' (so no earlier job is ever
+            delayed by a later one)."""
+            nonlocal pending
+            from repro.sched.profile import FOREVER, FreeProfile
+
+            failed: set = set()
+            profile = FreeProfile(now, self.allocator.free_nodes)
+            for est_end, eff_size in running.values():
+                profile.release_at(est_end, eff_size)
+            scanned = 0
+            idx = head - 1
+            while scanned <= self.backfill_window:
+                idx += 1
+                if idx >= len(queue):
+                    break
+                job = queue[idx]
+                if job.id in started_out_of_order:
+                    continue
+                scanned += 1
+                size = eff(job)
+                wall = walltime_est(job)
+                start = profile.earliest_fit(size, wall)
+                key = (size, job.bw_need)
+                if start <= now and key not in failed:
+                    if try_start(job, now, via="reserved"):
+                        started_out_of_order.add(job.id)
+                        pending -= 1
+                        profile.reserve(now, now + wall, size)
+                        sample()
+                        continue
+                    failed.add(key)
+                    # Fragmentation-blocked: the pattern can only change
+                    # at the next expected release.
+                    later = [t for t in profile._times if t > now]
+                    start = later[0] if later else FOREVER
+                if start != FOREVER:
+                    profile.reserve(start, start + wall, size)
+
+        def schedule(now: float) -> None:
+            nonlocal pending
+            if self.backfill_policy == "conservative":
+                conservative_schedule(now)
+                return
+            failed: set = set()
+            # FIFO phase: start from the head until something blocks.
+            while pending:
+                job = peek_head()
+                assert job is not None
+                if try_start(job, now):
+                    advance_head()
+                    pending -= 1
+                    sample()
+                else:
+                    failed.add((eff(job), job.bw_need))
+                    break
+            if not pending or self.backfill_window <= 0:
+                self._sticky = None
+                return
+            head_job = peek_head()
+            assert head_job is not None
+            # The head's reservation is computed when it first blocks and
+            # honored according to the reservation policy.  Recomputing
+            # every event ("slip") lets the shadow slip forever under
+            # constrained allocators — the node-count shadow
+            # underestimates when fragmentation, not node count, blocks
+            # the head — which starves large jobs; never recomputing
+            # ("sticky") forces full drains.  The default renews the
+            # reservation only once its shadow time has passed.
+            expired = (
+                self._sticky is not None
+                and self.reservation_policy == "renew"
+                and now >= self._sticky[1].shadow_time
+            )
+            if (
+                self._sticky is None
+                or self._sticky[0] != head_job.id
+                or self.reservation_policy == "slip"
+                or expired
+            ):
+                self._sticky = (head_job.id, self._reservation(now, head_job, running))
+            reservation = self._sticky[1]
+            for cand in window_candidates():
+                key = (eff(cand), cand.bw_need)
+                if key in failed:
+                    continue
+                if eff(cand) > self.allocator.free_nodes:
+                    continue
+                walltime = walltime_est(cand)
+                if not may_backfill(
+                    cand, now, walltime, self.allocator.free_nodes,
+                    eff(cand), reservation,
+                ):
+                    continue
+                if try_start(cand, now, via="backfill"):
+                    started_out_of_order.add(cand.id)
+                    pending -= 1
+                    sample()
+                else:
+                    failed.add(key)
+
+        # --------------------------------------------------------------
+        # Main loop
+        # --------------------------------------------------------------
+        makespan_start = last_t
+        last_completion = last_t
+        while events:
+            t = events[0][0]
+            advance(t)
+            while events and events[0][0] == t:
+                _, kind, _, job = heapq.heappop(events)
+                if kind == _COMPLETION:
+                    self.allocator.release(job.id)
+                    if self.runtime_model is not None:
+                        self.runtime_model.on_release(job.id)
+                    running.pop(job.id)
+                    cur_busy -= job.size
+                    last_completion = t
+                    if self.event_log is not None:
+                        self.event_log.record(t, "complete", job.id, job.size)
+                    sample()
+                else:
+                    if self.event_log is not None:
+                        self.event_log.record(t, "arrive", job.id, job.size)
+                    enqueue(job)
+            schedule(t)
+            if pending and not running and not events:
+                # Nothing can ever start these jobs (should not happen
+                # for valid traces; recorded for failure-injection tests).
+                while (job := peek_head()) is not None:
+                    unscheduled.append(job.id)
+                    advance_head()
+                    pending -= 1
+                break
+
+        completed = [
+            JobRecord(j.id, j.size, j.arrival, j.start, j.end)
+            for j in jobs
+            if j.end >= 0
+        ]
+        return SimResult(
+            scheme=self.allocator.name,
+            trace_name=name,
+            system_nodes=n_system,
+            jobs=completed,
+            makespan=last_completion - makespan_start,
+            busy_area=busy_area,
+            demand_area=demand_area,
+            total_busy_area=total_busy_area,
+            instant=instant,
+            sched_seconds=self.allocator.stats.alloc_seconds,
+            alloc_attempts=self.allocator.stats.attempts,
+            unscheduled=unscheduled,
+        )
+
+    # ------------------------------------------------------------------
+    def _reservation(
+        self, now: float, head_job: Job, running: Dict[int, Tuple[float, int]]
+    ) -> Reservation:
+        return compute_reservation(
+            now,
+            self.allocator.effective_size(head_job.size),
+            self.allocator.free_nodes,
+            list(running.values()),
+        )

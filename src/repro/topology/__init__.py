@@ -1,0 +1,20 @@
+"""Fat-tree topology substrate.
+
+This package models the clusters the paper evaluates on: full (maximal)
+three-level fat-trees built from uniform-radix switches, wired as folded
+Clos networks (paper section 2.1).  It also tracks the occupancy state of
+nodes and links, which is what the allocators in :mod:`repro.core` claim
+and release.
+"""
+
+from repro.topology.fattree import FatTree, XGFT, LinkId, SpineLinkId
+from repro.topology.state import ClusterState, LinkCapacityState
+
+__all__ = [
+    "FatTree",
+    "XGFT",
+    "LinkId",
+    "SpineLinkId",
+    "ClusterState",
+    "LinkCapacityState",
+]

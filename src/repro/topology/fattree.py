@@ -1,0 +1,315 @@
+"""Three-level fat-tree topology model.
+
+The paper evaluates on *full* (maximal-size) three-level fat-trees built
+from switches of a uniform radix ``r`` (section 5.1).  In such a tree:
+
+* every **leaf** switch has ``r/2`` down-ports to compute nodes and
+  ``r/2`` up-ports to the L2 switches of its pod;
+* every **L2** switch has ``r/2`` down-ports to the leaves of its pod and
+  ``r/2`` up-ports to spine switches;
+* a **pod** (the paper's two-level sub-"tree") therefore contains ``r/2``
+  leaves, ``r/2`` L2 switches, and ``(r/2)**2`` nodes;
+* the machine has ``r`` pods, and spine switches are arranged in ``r/2``
+  **groups** of ``r/2`` spines each.  Group ``i`` forms a full bipartite
+  graph with the ``i``-th L2 switch of every pod — the partition the paper
+  denotes ``T*_i`` (Figure 3).  There are no redundant spine-to-pod
+  connections (Appendix A assumes maximal trees).
+
+The node count is ``r**3 / 4``: radix 16, 18, 22 and 28 give exactly the
+paper's 1024-, 1458-, 2662- and 5488-node clusters.
+
+For generality (and for exercising the formal conditions on small
+instances in tests) the :class:`XGFT` class models arbitrary
+Extended-Generalized-Fat-Trees ``XGFT(3; m1, m2, m3; 1, w2, w3)`` with
+``m1 = w2`` and ``m2 = w3`` (full bandwidth), of which the radix-``r``
+full tree is the special case ``m1 = m2 = r/2, m3 = r``.
+
+Link identity conventions used across the whole code base:
+
+``LinkId(leaf, i)``
+    the unique cable between global leaf ``leaf`` and the ``i``-th L2
+    switch of that leaf's pod (``0 <= i < m1``);
+
+``SpineLinkId(pod, i, j)``
+    the unique cable between the ``i``-th L2 switch of pod ``pod`` and
+    spine ``j`` of spine group ``i`` (``0 <= j < m2``).
+
+Nodes are numbered globally and contiguously by leaf: node ``n`` lives on
+leaf ``n // m1``, and leaf ``l`` lives in pod ``l // m2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, NamedTuple
+
+
+class LinkId(NamedTuple):
+    """Identity of a leaf-to-L2 cable (used in both directions)."""
+
+    leaf: int
+    l2_index: int
+
+
+class SpineLinkId(NamedTuple):
+    """Identity of an L2-to-spine cable (used in both directions)."""
+
+    pod: int
+    l2_index: int
+    spine_index: int
+
+
+@dataclass(frozen=True)
+class XGFT:
+    """A full-bandwidth three-level fat-tree ``XGFT(3; m1, m2, m3)``.
+
+    Parameters
+    ----------
+    m1:
+        Nodes per leaf.  Equals the number of L2 switches per pod
+        (``w2 = m1``, the full-bandwidth condition at the leaf level).
+    m2:
+        Leaves per pod.  Equals the number of spines per L2 switch
+        (``w3 = m2``, the full-bandwidth condition at the L2 level).
+    m3:
+        Number of pods.  Because every spine connects exactly once to
+        each pod and has the same radix as every other switch only in
+        *maximal* trees, ``m3`` may be at most ``2 * m2`` for a tree
+        wired from uniform radix-``2*m2`` switches, but the model itself
+        accepts any ``m3 >= 1``.
+    """
+
+    m1: int
+    m2: int
+    m3: int
+
+    def __post_init__(self) -> None:
+        if self.m1 < 1 or self.m2 < 1 or self.m3 < 1:
+            raise ValueError(
+                f"XGFT parameters must be positive, got "
+                f"m1={self.m1}, m2={self.m2}, m3={self.m3}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def nodes_per_leaf(self) -> int:
+        return self.m1
+
+    @property
+    def leaves_per_pod(self) -> int:
+        return self.m2
+
+    @property
+    def l2_per_pod(self) -> int:
+        # Full bandwidth: as many L2 switches per pod as nodes per leaf.
+        return self.m1
+
+    @property
+    def spines_per_group(self) -> int:
+        # Full bandwidth: as many spines per L2 up-group as leaves per pod.
+        return self.m2
+
+    @property
+    def num_pods(self) -> int:
+        return self.m3
+
+    @cached_property
+    def nodes_per_pod(self) -> int:
+        return self.m1 * self.m2
+
+    @cached_property
+    def num_leaves(self) -> int:
+        return self.m2 * self.m3
+
+    @cached_property
+    def num_nodes(self) -> int:
+        return self.m1 * self.m2 * self.m3
+
+    @cached_property
+    def num_l2(self) -> int:
+        return self.l2_per_pod * self.m3
+
+    @cached_property
+    def num_spine_groups(self) -> int:
+        return self.l2_per_pod
+
+    @cached_property
+    def num_spines(self) -> int:
+        return self.num_spine_groups * self.spines_per_group
+
+    @cached_property
+    def num_leaf_links(self) -> int:
+        """Total number of leaf-to-L2 cables."""
+        return self.num_leaves * self.l2_per_pod
+
+    @cached_property
+    def num_spine_links(self) -> int:
+        """Total number of L2-to-spine cables."""
+        return self.num_pods * self.l2_per_pod * self.spines_per_group
+
+    # ------------------------------------------------------------------
+    # Entity mapping helpers
+    # ------------------------------------------------------------------
+    def leaf_of_node(self, node: int) -> int:
+        """Global leaf index hosting global node ``node``."""
+        self._check_node(node)
+        return node // self.m1
+
+    def pod_of_node(self, node: int) -> int:
+        """Pod index hosting global node ``node``."""
+        self._check_node(node)
+        return node // self.nodes_per_pod
+
+    def pod_of_leaf(self, leaf: int) -> int:
+        """Pod index hosting global leaf ``leaf``."""
+        self._check_leaf(leaf)
+        return leaf // self.m2
+
+    def leaf_index_in_pod(self, leaf: int) -> int:
+        """Position of global leaf ``leaf`` within its pod (0-based)."""
+        self._check_leaf(leaf)
+        return leaf % self.m2
+
+    def node_index_in_leaf(self, node: int) -> int:
+        """Position of global node ``node`` within its leaf (0-based)."""
+        self._check_node(node)
+        return node % self.m1
+
+    def leaves_of_pod(self, pod: int) -> range:
+        """Global leaf indices of pod ``pod``."""
+        self._check_pod(pod)
+        return range(pod * self.m2, (pod + 1) * self.m2)
+
+    def nodes_of_leaf(self, leaf: int) -> range:
+        """Global node indices attached to global leaf ``leaf``."""
+        self._check_leaf(leaf)
+        return range(leaf * self.m1, (leaf + 1) * self.m1)
+
+    def nodes_of_pod(self, pod: int) -> range:
+        """Global node indices inside pod ``pod``."""
+        self._check_pod(pod)
+        return range(pod * self.nodes_per_pod, (pod + 1) * self.nodes_per_pod)
+
+    def first_leaf_of_pod(self, pod: int) -> int:
+        self._check_pod(pod)
+        return pod * self.m2
+
+    def l2_global_index(self, pod: int, l2_index: int) -> int:
+        """Global index of the ``l2_index``-th L2 switch of pod ``pod``."""
+        self._check_pod(pod)
+        self._check_l2_index(l2_index)
+        return pod * self.l2_per_pod + l2_index
+
+    def spine_global_index(self, group: int, spine_index: int) -> int:
+        """Global index of spine ``spine_index`` in group ``group``."""
+        self._check_l2_index(group)
+        if not 0 <= spine_index < self.spines_per_group:
+            raise ValueError(
+                f"spine index {spine_index} out of range "
+                f"[0, {self.spines_per_group})"
+            )
+        return group * self.spines_per_group + spine_index
+
+    # ------------------------------------------------------------------
+    # Link enumeration
+    # ------------------------------------------------------------------
+    def leaf_links(self) -> Iterator[LinkId]:
+        """Every leaf-to-L2 cable in the machine."""
+        for leaf in range(self.num_leaves):
+            for i in range(self.l2_per_pod):
+                yield LinkId(leaf, i)
+
+    def spine_links(self) -> Iterator[SpineLinkId]:
+        """Every L2-to-spine cable in the machine."""
+        for pod in range(self.num_pods):
+            for i in range(self.l2_per_pod):
+                for j in range(self.spines_per_group):
+                    yield SpineLinkId(pod, i, j)
+
+    def leaf_links_of_leaf(self, leaf: int) -> Iterator[LinkId]:
+        self._check_leaf(leaf)
+        for i in range(self.l2_per_pod):
+            yield LinkId(leaf, i)
+
+    def spine_links_of_l2(self, pod: int, l2_index: int) -> Iterator[SpineLinkId]:
+        self._check_pod(pod)
+        self._check_l2_index(l2_index)
+        for j in range(self.spines_per_group):
+            yield SpineLinkId(pod, l2_index, j)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def _check_leaf(self, leaf: int) -> None:
+        if not 0 <= leaf < self.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range [0, {self.num_leaves})")
+
+    def _check_pod(self, pod: int) -> None:
+        if not 0 <= pod < self.num_pods:
+            raise ValueError(f"pod {pod} out of range [0, {self.num_pods})")
+
+    def _check_l2_index(self, i: int) -> None:
+        if not 0 <= i < self.l2_per_pod:
+            raise ValueError(f"L2 index {i} out of range [0, {self.l2_per_pod})")
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the topology."""
+        return (
+            f"XGFT(3; {self.m1}, {self.m2}, {self.m3}): "
+            f"{self.num_nodes} nodes, {self.num_leaves} leaves, "
+            f"{self.num_pods} pods, {self.num_spines} spines"
+        )
+
+
+class FatTree(XGFT):
+    """A *full* (maximal) three-level fat-tree built from radix-``r`` switches.
+
+    This is the cluster model of the paper's evaluation (section 5.1): the
+    tree wired out of uniform radix-``r`` switches with no over- or
+    under-subscription, hosting ``r**3 / 4`` nodes.
+
+    >>> FatTree.from_radix(16).num_nodes
+    1024
+    >>> FatTree.from_radix(28).num_nodes
+    5488
+    """
+
+    def __init__(self, m1: int, m2: int, m3: int):
+        super().__init__(m1=m1, m2=m2, m3=m3)
+
+    @classmethod
+    def from_radix(cls, radix: int) -> "FatTree":
+        """Build the maximal three-level fat-tree for switch radix ``radix``."""
+        if radix < 2 or radix % 2 != 0:
+            raise ValueError(f"switch radix must be a positive even int, got {radix}")
+        half = radix // 2
+        return cls(m1=half, m2=half, m3=radix)
+
+    @classmethod
+    def for_min_nodes(cls, min_nodes: int) -> "FatTree":
+        """Smallest maximal fat-tree with at least ``min_nodes`` nodes.
+
+        The paper picks its 1458-node radix-18 cluster this way: the
+        smallest experiment cluster larger than Thunder, Atlas and Cab.
+        """
+        if min_nodes < 1:
+            raise ValueError("min_nodes must be positive")
+        radix = 2
+        while radix**3 // 4 < min_nodes:
+            radix += 2
+        return cls.from_radix(radix)
+
+    @property
+    def radix(self) -> int:
+        return 2 * self.m1
+
+
+#: The four experiment clusters of section 5.1, keyed by switch radix.
+PAPER_CLUSTERS = {16: 1024, 18: 1458, 22: 2662, 28: 5488}

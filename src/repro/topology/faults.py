@@ -1,0 +1,136 @@
+"""Fault injection: scheduling on a degraded fabric.
+
+The paper assumes healthy maximal trees; real machines run with dead
+nodes, unplugged cables and drained switches.  Because every allocator
+reads availability from :class:`~repro.topology.state.ClusterState`,
+faults compose for free: a failed resource is simply claimed by a
+reserved fault owner, and the allocators route around it — the formal
+conditions keep holding on whatever remains.
+
+For the link-sharing scheme (LC+S) a failed link must also lose its
+bandwidth; pass the allocator (not just the state) and the injector
+saturates its :class:`~repro.topology.state.LinkCapacityState` too.
+
+Faults are repairable: each injected fault returns a ticket that
+:meth:`FaultInjector.repair` reverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Tuple, Union
+
+from repro.core.allocator import Allocator
+from repro.topology.fattree import LinkId, SpineLinkId
+from repro.topology.state import ClusterState
+
+#: fault claims use job ids below this marker, far outside real id space
+_FAULT_ID_BASE = -(10**9)
+
+
+@dataclass(frozen=True)
+class FaultTicket:
+    """Handle for one injected fault."""
+
+    fault_id: int
+    kind: str
+    target: Union[int, LinkId, SpineLinkId, Tuple]
+    #: bandwidth claim id in the capacity state, if any
+    bw_claimed: bool = False
+
+
+class FaultInjector:
+    """Inject and repair node/link/switch failures on a live cluster.
+
+    Failing a resource that is currently *owned by a job* is rejected:
+    in reality that kills the job, which is scheduler-policy territory —
+    drain it first (release the job), then fail the hardware.
+    """
+
+    def __init__(self, allocator: Allocator):
+        self.allocator = allocator
+        self.state: ClusterState = allocator.state
+        self._ids = count(_FAULT_ID_BASE)
+        self._tickets: Dict[int, FaultTicket] = {}
+        self._links_cap = getattr(allocator, "links", None)
+
+    # ------------------------------------------------------------------
+    def _claim(self, kind, target, nodes=(), leaf_links=(), spine_links=()):
+        fault_id = next(self._ids)
+        self.state.claim(fault_id, nodes, leaf_links, spine_links)
+        bw = False
+        if self._links_cap is not None and (leaf_links or spine_links):
+            self._links_cap.claim(
+                fault_id, leaf_links, spine_links, need=self._links_cap.capacity
+            )
+            bw = True
+        ticket = FaultTicket(fault_id, kind, target, bw)
+        self._tickets[fault_id] = ticket
+        return ticket
+
+    def fail_node(self, node: int) -> FaultTicket:
+        """Take one compute node out of service."""
+        return self._claim("node", node, nodes=[node])
+
+    def fail_leaf_link(self, link: LinkId) -> FaultTicket:
+        """Unplug one leaf-to-L2 cable."""
+        return self._claim("leaf-link", link, leaf_links=[link])
+
+    def fail_spine_link(self, link: SpineLinkId) -> FaultTicket:
+        """Unplug one L2-to-spine cable."""
+        return self._claim("spine-link", link, spine_links=[link])
+
+    def fail_leaf_switch(self, leaf: int) -> FaultTicket:
+        """Drain a whole leaf switch: its nodes and all its uplinks."""
+        tree = self.state.tree
+        return self._claim(
+            "leaf-switch",
+            ("leaf", leaf),
+            nodes=list(tree.nodes_of_leaf(leaf)),
+            leaf_links=list(tree.leaf_links_of_leaf(leaf)),
+        )
+
+    def fail_l2_switch(self, pod: int, index: int) -> FaultTicket:
+        """Drain an L2 switch: every cable touching it."""
+        tree = self.state.tree
+        leaf_links = [
+            LinkId(leaf, index) for leaf in tree.leaves_of_pod(pod)
+        ]
+        spine_links = list(tree.spine_links_of_l2(pod, index))
+        return self._claim(
+            "l2-switch", ("l2", pod, index),
+            leaf_links=leaf_links, spine_links=spine_links,
+        )
+
+    def fail_spine(self, group: int, index: int) -> FaultTicket:
+        """Drain a spine switch: its cable to every pod."""
+        tree = self.state.tree
+        spine_links = [
+            SpineLinkId(pod, group, index) for pod in range(tree.num_pods)
+        ]
+        return self._claim(
+            "spine", ("spine", group, index), spine_links=spine_links
+        )
+
+    # ------------------------------------------------------------------
+    def repair(self, ticket: FaultTicket) -> None:
+        """Return the failed resources to service."""
+        if ticket.fault_id not in self._tickets:
+            raise ValueError(f"unknown or already-repaired fault {ticket}")
+        self.state.release(ticket.fault_id)
+        if ticket.bw_claimed and self._links_cap is not None:
+            self._links_cap.release(ticket.fault_id)
+        del self._tickets[ticket.fault_id]
+
+    def repair_all(self) -> int:
+        """Repair every outstanding fault; returns how many."""
+        tickets = list(self._tickets.values())
+        for ticket in tickets:
+            self.repair(ticket)
+        return len(tickets)
+
+    @property
+    def active_faults(self) -> List[FaultTicket]:
+        """Tickets of every fault not yet repaired."""
+        return list(self._tickets.values())

@@ -1,0 +1,374 @@
+"""Occupancy state of a fat-tree cluster: nodes and links.
+
+:class:`ClusterState` tracks, for one :class:`~repro.topology.fattree.XGFT`
+topology, which compute nodes and which network cables are currently owned
+by which job.  It is the single mutable substrate that every allocator in
+:mod:`repro.core` queries and updates, and it maintains the paper's
+isolation invariant (section 3.2.1): every node and every link is owned by
+at most one job.
+
+Link-availability sets are represented as **integer bitmasks**:
+
+* ``leaf_up_mask[leaf]`` has bit ``i`` set iff the cable between ``leaf``
+  and the ``i``-th L2 switch of its pod is free;
+* ``spine_free_mask[pod][i]`` has bit ``j`` set iff the cable between the
+  ``i``-th L2 switch of ``pod`` and spine ``j`` of group ``i`` is free.
+
+Because the paper's largest cluster uses radix-28 switches, these masks
+never exceed 14 bits, so the recursive-backtracking searches of
+Algorithm 1 reduce to AND/popcount operations on small ints.
+
+:class:`LinkCapacityState` is the fractional-bandwidth variant used by the
+LC+S bounding scheme (section 5.2.3), where links are *shared* subject to
+a capacity cap rather than exclusively owned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.fattree import LinkId, SpineLinkId, XGFT
+
+
+class AllocationError(RuntimeError):
+    """Raised when a claim or release violates the isolation invariant."""
+
+
+@dataclass
+class ClaimRecord:
+    """Everything :class:`ClusterState` needs to undo one job's claim."""
+
+    job_id: int
+    nodes: Tuple[int, ...]
+    leaf_links: Tuple[LinkId, ...]
+    spine_links: Tuple[SpineLinkId, ...]
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Bitmask with the given bit indices set."""
+    m = 0
+    for i in indices:
+        m |= 1 << i
+    return m
+
+
+def indices_of(mask: int) -> Tuple[int, ...]:
+    """Sorted tuple of bit indices set in ``mask``."""
+    out = []
+    i = 0
+    while mask:
+        if mask & 1:
+            out.append(i)
+        mask >>= 1
+        i += 1
+    return tuple(out)
+
+
+def lowest_bits(mask: int, k: int) -> int:
+    """Mask of the ``k`` lowest set bits of ``mask``.
+
+    Raises :class:`ValueError` if ``mask`` has fewer than ``k`` set bits.
+    """
+    out = 0
+    for _ in range(k):
+        if not mask:
+            raise ValueError("mask has fewer set bits than requested")
+        low = mask & -mask
+        out |= low
+        mask ^= low
+    return out
+
+
+class ClusterState:
+    """Mutable node/link ownership state for one fat-tree.
+
+    Parameters
+    ----------
+    tree:
+        The topology.  Node, leaf, pod and link numbering follow
+        :mod:`repro.topology.fattree`.
+
+    Notes
+    -----
+    All mutation goes through :meth:`claim` and :meth:`release`, which
+    validate the isolation invariant and keep the derived per-leaf /
+    per-pod summaries consistent.  Allocators only *read* the summaries.
+    """
+
+    def __init__(self, tree: XGFT):
+        self.tree = tree
+        m1, m2, m3 = tree.m1, tree.m2, tree.m3
+        self._full_leaf_mask = (1 << tree.l2_per_pod) - 1
+        self._full_spine_mask = (1 << tree.spines_per_group) - 1
+
+        #: owner job id per node, -1 = free
+        self.node_owner = np.full(tree.num_nodes, -1, dtype=np.int64)
+        #: free-node count per leaf
+        self.free_per_leaf = np.full(tree.num_leaves, m1, dtype=np.int32)
+        #: free leaf-uplink bitmask per leaf (bit i = cable to L2 i free)
+        self.leaf_up_mask = [self._full_leaf_mask] * tree.num_leaves
+        #: free spine-link bitmask per (pod, L2 index)
+        self.spine_free_mask = [
+            [self._full_spine_mask] * tree.l2_per_pod for _ in range(m3)
+        ]
+        #: number of completely-free leaves per pod
+        self.full_free_leaves = np.full(m3, m2, dtype=np.int32)
+        #: total free nodes per pod (plain ints: this is the hottest
+        #: read in the allocator search loops)
+        self.pod_free = [tree.nodes_per_pod] * m3
+        #: total free nodes on the machine
+        self.free_nodes_total = tree.num_nodes
+        self._claims: Dict[int, ClaimRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Read-side helpers used by allocators
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs_resident(self) -> int:
+        return len(self._claims)
+
+    def is_idle(self) -> bool:
+        return not self._claims
+
+    def free_nodes_on_leaf(self, leaf: int) -> int:
+        return int(self.free_per_leaf[leaf])
+
+    def leaf_is_fully_free(self, leaf: int) -> bool:
+        return self.free_per_leaf[leaf] == self.tree.m1
+
+    def free_node_ids(self, leaf: int, k: int) -> Tuple[int, ...]:
+        """The ``k`` lowest-numbered free nodes on ``leaf``."""
+        if k == 0:
+            return ()
+        base = leaf * self.tree.m1
+        owners = self.node_owner[base : base + self.tree.m1]
+        free = np.flatnonzero(owners == -1)
+        if len(free) < k:
+            raise AllocationError(
+                f"leaf {leaf} has {len(free)} free nodes, requested {k}"
+            )
+        return tuple(int(base + i) for i in free[:k])
+
+    def free_leaf_counts_in_pod(self, pod: int) -> np.ndarray:
+        """View of per-leaf free-node counts for the leaves of ``pod``."""
+        lo = pod * self.tree.m2
+        return self.free_per_leaf[lo : lo + self.tree.m2]
+
+    def claim_record(self, job_id: int) -> ClaimRecord:
+        return self._claims[job_id]
+
+    def resident_jobs(self) -> Tuple[int, ...]:
+        return tuple(self._claims)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def claim(
+        self,
+        job_id: int,
+        nodes: Sequence[int],
+        leaf_links: Sequence[LinkId] = (),
+        spine_links: Sequence[SpineLinkId] = (),
+    ) -> None:
+        """Exclusively assign nodes and links to ``job_id``.
+
+        Raises :class:`AllocationError` (leaving state untouched) if the
+        job id is already resident or any resource is not free.
+        """
+        if job_id in self._claims:
+            raise AllocationError(f"job {job_id} already holds an allocation")
+        nodes = tuple(nodes)
+        leaf_links = tuple(leaf_links)
+        spine_links = tuple(spine_links)
+
+        # Validate before mutating so failures cannot corrupt state.
+        if len(set(nodes)) != len(nodes):
+            raise AllocationError("duplicate nodes in claim")
+        for n in nodes:
+            if self.node_owner[n] != -1:
+                raise AllocationError(f"node {n} is not free")
+        if len(set(leaf_links)) != len(leaf_links):
+            raise AllocationError("duplicate leaf links in claim")
+        for leaf, i in leaf_links:
+            if not self.leaf_up_mask[leaf] & (1 << i):
+                raise AllocationError(f"leaf link ({leaf}, {i}) is not free")
+        if len(set(spine_links)) != len(spine_links):
+            raise AllocationError("duplicate spine links in claim")
+        for pod, i, j in spine_links:
+            if not self.spine_free_mask[pod][i] & (1 << j):
+                raise AllocationError(f"spine link ({pod}, {i}, {j}) is not free")
+
+        for n in nodes:
+            self.node_owner[n] = job_id
+            leaf = n // self.tree.m1
+            pod = leaf // self.tree.m2
+            if self.free_per_leaf[leaf] == self.tree.m1:
+                self.full_free_leaves[pod] -= 1
+            self.free_per_leaf[leaf] -= 1
+            self.pod_free[pod] -= 1
+        for leaf, i in leaf_links:
+            self.leaf_up_mask[leaf] &= ~(1 << i)
+        for pod, i, j in spine_links:
+            self.spine_free_mask[pod][i] &= ~(1 << j)
+        self.free_nodes_total -= len(nodes)
+        self._claims[job_id] = ClaimRecord(job_id, nodes, leaf_links, spine_links)
+
+    def release(self, job_id: int) -> ClaimRecord:
+        """Return all of ``job_id``'s resources to the free pool."""
+        try:
+            rec = self._claims.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id} holds no allocation") from None
+        for n in rec.nodes:
+            self.node_owner[n] = -1
+            leaf = n // self.tree.m1
+            pod = leaf // self.tree.m2
+            self.free_per_leaf[leaf] += 1
+            self.pod_free[pod] += 1
+            if self.free_per_leaf[leaf] == self.tree.m1:
+                self.full_free_leaves[pod] += 1
+        for leaf, i in rec.leaf_links:
+            self.leaf_up_mask[leaf] |= 1 << i
+        for pod, i, j in rec.spine_links:
+            self.spine_free_mask[pod][i] |= 1 << j
+        self.free_nodes_total += len(rec.nodes)
+        return rec
+
+    # ------------------------------------------------------------------
+    # Consistency audit (used by tests and failure injection)
+    # ------------------------------------------------------------------
+    def audit(self) -> None:
+        """Recompute every derived summary and assert it matches.
+
+        Raises :class:`AllocationError` on the first inconsistency; this
+        is the isolation invariant made executable.
+        """
+        tree = self.tree
+        if int((self.node_owner == -1).sum()) != self.free_nodes_total:
+            raise AllocationError("free_nodes_total out of sync")
+        for leaf in range(tree.num_leaves):
+            base = leaf * tree.m1
+            free = int((self.node_owner[base : base + tree.m1] == -1).sum())
+            if free != self.free_per_leaf[leaf]:
+                raise AllocationError(f"free_per_leaf[{leaf}] out of sync")
+        for pod in range(tree.num_pods):
+            lo = pod * tree.m2
+            full = int(
+                (self.free_per_leaf[lo : lo + tree.m2] == tree.m1).sum()
+            )
+            if full != self.full_free_leaves[pod]:
+                raise AllocationError(f"full_free_leaves[{pod}] out of sync")
+            if int(self.free_per_leaf[lo : lo + tree.m2].sum()) != self.pod_free[pod]:
+                raise AllocationError(f"pod_free[{pod}] out of sync")
+        owned_nodes: Dict[int, int] = {}
+        owned_leaf_links: Dict[LinkId, int] = {}
+        owned_spine_links: Dict[SpineLinkId, int] = {}
+        for rec in self._claims.values():
+            for n in rec.nodes:
+                if n in owned_nodes:
+                    raise AllocationError(f"node {n} owned twice")
+                owned_nodes[n] = rec.job_id
+                if self.node_owner[n] != rec.job_id:
+                    raise AllocationError(f"node_owner[{n}] out of sync")
+            for link in rec.leaf_links:
+                if link in owned_leaf_links:
+                    raise AllocationError(f"leaf link {link} owned twice")
+                owned_leaf_links[link] = rec.job_id
+                if self.leaf_up_mask[link.leaf] & (1 << link.l2_index):
+                    raise AllocationError(f"leaf link {link} marked free")
+            for link in rec.spine_links:
+                if link in owned_spine_links:
+                    raise AllocationError(f"spine link {link} owned twice")
+                owned_spine_links[link] = rec.job_id
+                if self.spine_free_mask[link.pod][link.l2_index] & (
+                    1 << link.spine_index
+                ):
+                    raise AllocationError(f"spine link {link} marked free")
+
+
+@dataclass
+class LinkCapacityState:
+    """Fractional link-bandwidth state for the LC+S scheme (section 5.2.3).
+
+    Links are shared: each job contributes its average per-link bandwidth
+    need to every link it is routed over, and total usage of a link is
+    capped at ``cap_fraction * peak_bandwidth`` (the paper uses an 80 %
+    cap on a 5 GB/s link, above which degradation rises sharply [30]).
+    """
+
+    tree: XGFT
+    peak_bandwidth: float = 5.0
+    cap_fraction: float = 0.8
+    leaf_bw: np.ndarray = field(init=False)
+    spine_bw: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        t = self.tree
+        self.leaf_bw = np.zeros((t.num_leaves, t.l2_per_pod))
+        self.spine_bw = np.zeros((t.num_pods, t.l2_per_pod, t.spines_per_group))
+        self._claims: Dict[int, Tuple[Tuple[LinkId, ...], Tuple[SpineLinkId, ...], float]] = {}
+
+    @property
+    def capacity(self) -> float:
+        """Usable bandwidth per link under the cap."""
+        return self.peak_bandwidth * self.cap_fraction
+
+    def leaf_mask(self, leaf: int, need: float) -> int:
+        """Bitmask of ``leaf``'s uplinks with at least ``need`` headroom."""
+        row = self.leaf_bw[leaf]
+        cap = self.capacity
+        m = 0
+        for i in range(self.tree.l2_per_pod):
+            if row[i] + need <= cap + 1e-9:
+                m |= 1 << i
+        return m
+
+    def spine_mask(self, pod: int, l2_index: int, need: float) -> int:
+        """Bitmask of spines reachable from ``(pod, l2_index)`` with headroom."""
+        row = self.spine_bw[pod][l2_index]
+        cap = self.capacity
+        m = 0
+        for j in range(self.tree.spines_per_group):
+            if row[j] + need <= cap + 1e-9:
+                m |= 1 << j
+        return m
+
+    def claim(
+        self,
+        job_id: int,
+        leaf_links: Sequence[LinkId],
+        spine_links: Sequence[SpineLinkId],
+        need: float,
+    ) -> None:
+        """Add ``need`` GB/s of usage on every given link for ``job_id``."""
+        if job_id in self._claims:
+            raise AllocationError(f"job {job_id} already holds bandwidth")
+        cap = self.capacity
+        for leaf, i in leaf_links:
+            if self.leaf_bw[leaf][i] + need > cap + 1e-9:
+                raise AllocationError(f"leaf link ({leaf}, {i}) over capacity")
+        for pod, i, j in spine_links:
+            if self.spine_bw[pod][i][j] + need > cap + 1e-9:
+                raise AllocationError(f"spine link ({pod}, {i}, {j}) over capacity")
+        for leaf, i in leaf_links:
+            self.leaf_bw[leaf][i] += need
+        for pod, i, j in spine_links:
+            self.spine_bw[pod][i][j] += need
+        self._claims[job_id] = (tuple(leaf_links), tuple(spine_links), need)
+
+    def release(self, job_id: int) -> None:
+        """Return a job's bandwidth on every link it was charged on."""
+        try:
+            leaf_links, spine_links, need = self._claims.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id} holds no bandwidth") from None
+        for leaf, i in leaf_links:
+            self.leaf_bw[leaf][i] -= need
+        for pod, i, j in spine_links:
+            self.spine_bw[pod][i][j] -= need
+        # Clamp tiny negative residue from float accumulation.
+        np.clip(self.leaf_bw, 0.0, None, out=self.leaf_bw)
+        np.clip(self.spine_bw, 0.0, None, out=self.spine_bw)

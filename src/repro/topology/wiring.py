@@ -1,0 +1,123 @@
+"""Physical wiring of a full fat-tree: the cable list, validated.
+
+Section 2.1: "the folded Clos topology is easily wired out of routers
+and links with uniform radix and bandwidth."  This module produces the
+explicit cable list — (switch, port) to (switch, port) — for any
+:class:`~repro.topology.fattree.XGFT`, and :func:`validate_wiring`
+checks the claims that make the topology buildable:
+
+* every switch uses at most its radix in ports, and in a *maximal* tree
+  exactly its radix (no dark ports);
+* no port carries two cables;
+* the spine layer realizes the ``T*_i`` structure: spine group ``i``
+  connects exactly the ``i``-th L2 switch of every pod.
+
+Port numbering matches :mod:`repro.routing.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.topology.fattree import XGFT
+
+#: endpoint: (switch id tuple, port number); switch ids as in tables.py,
+#: plus ("node", n) endpoints for compute nodes (port 0)
+Endpoint = Tuple[Tuple, int]
+
+
+@dataclass(frozen=True)
+class Cable:
+    """One physical cable between two ports."""
+
+    a: Endpoint
+    b: Endpoint
+
+    def touches(self, switch: Tuple) -> bool:
+        return self.a[0] == switch or self.b[0] == switch
+
+
+def cables(tree: XGFT) -> Iterator[Cable]:
+    """Every cable of the machine: node-leaf, leaf-L2, L2-spine."""
+    for node in range(tree.num_nodes):
+        leaf = tree.leaf_of_node(node)
+        yield Cable(
+            (("node", node), 0),
+            (("leaf", leaf), tree.node_index_in_leaf(node)),
+        )
+    for leaf in range(tree.num_leaves):
+        pod = tree.pod_of_leaf(leaf)
+        for i in range(tree.l2_per_pod):
+            yield Cable(
+                (("leaf", leaf), tree.m1 + i),
+                (("l2", pod, i), tree.leaf_index_in_pod(leaf)),
+            )
+    for pod in range(tree.num_pods):
+        for i in range(tree.l2_per_pod):
+            for j in range(tree.spines_per_group):
+                yield Cable(
+                    (("l2", pod, i), tree.m2 + j),
+                    (("spine", i, j), pod),
+                )
+
+
+def port_usage(tree: XGFT) -> Dict[Tuple, int]:
+    """Ports in use per switch."""
+    usage: Dict[Tuple, int] = {}
+    for cable in cables(tree):
+        for switch, _port in (cable.a, cable.b):
+            if switch[0] != "node":
+                usage[switch] = usage.get(switch, 0) + 1
+    return usage
+
+
+def validate_wiring(tree: XGFT) -> List[str]:
+    """Check buildability; returns violations (empty = wirable).
+
+    For a *maximal* tree (``m3 == 2 * m2``) every switch port is used,
+    so the machine is wired entirely from radix-``2*m1`` leaf/L2
+    switches and radix-``m3`` spines with no dark ports.
+    """
+    violations: List[str] = []
+    seen_ports: Dict[Endpoint, Cable] = {}
+    for cable in cables(tree):
+        for endpoint in (cable.a, cable.b):
+            if endpoint in seen_ports:
+                violations.append(f"port {endpoint} carries two cables")
+            seen_ports[endpoint] = cable
+
+    usage = port_usage(tree)
+    for switch, used in usage.items():
+        kind = switch[0]
+        if kind == "leaf":
+            expected = tree.m1 + tree.l2_per_pod
+        elif kind == "l2":
+            expected = tree.m2 + tree.spines_per_group
+        else:  # spine: one port per pod
+            expected = tree.num_pods
+        if used != expected:
+            violations.append(
+                f"switch {switch} uses {used} ports, expected {expected}"
+            )
+
+    # the T*_i structure: spine (i, j) must reach the i-th L2 switch of
+    # every pod, exactly once
+    spine_peers: Dict[Tuple, set] = {}
+    for cable in cables(tree):
+        for this, other in ((cable.a, cable.b), (cable.b, cable.a)):
+            if this[0][0] == "spine":
+                spine_peers.setdefault(this[0], set()).add(other[0])
+    for (kind, group, j), peers in spine_peers.items():
+        expected_peers = {("l2", pod, group) for pod in range(tree.num_pods)}
+        if peers != expected_peers:
+            violations.append(
+                f"spine ({group}, {j}) wired to {sorted(peers)}, "
+                f"not the group-{group} L2 switches of every pod"
+            )
+    return violations
+
+
+def cable_count(tree: XGFT) -> int:
+    """Total cables (the procurement number)."""
+    return tree.num_nodes + tree.num_leaf_links + tree.num_spine_links

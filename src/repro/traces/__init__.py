@@ -1,0 +1,38 @@
+"""Job-queue traces (section 5.1, Table 1).
+
+Three families:
+
+* :func:`synthetic_trace` — the LaaS-style synthetic workloads
+  (Synth-16/22/28): exponential sizes, uniform run times, all jobs
+  arriving at time zero.
+* :mod:`repro.traces.llnl` — synthetic equivalents of the LLNL traces
+  (Thunder, Atlas, and the four Cab months) matching every Table 1
+  characteristic; see DESIGN.md's substitution table.
+* :mod:`repro.traces.swf` — Standard Workload Format IO, so real
+  archive traces can be dropped in when available.
+"""
+
+from repro.traces.llnl import (
+    PAPER_TRACES,
+    atlas_like,
+    cab_like,
+    thunder_like,
+)
+from repro.traces.model import WorkloadModel
+from repro.traces.swf import read_swf, write_swf
+from repro.traces.synthetic import assign_bandwidth_classes, synthetic_trace
+from repro.traces.trace import Trace, TraceStats
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "synthetic_trace",
+    "assign_bandwidth_classes",
+    "thunder_like",
+    "atlas_like",
+    "cab_like",
+    "PAPER_TRACES",
+    "read_swf",
+    "write_swf",
+    "WorkloadModel",
+]

@@ -1,0 +1,234 @@
+"""Synthetic equivalents of the paper's LLNL traces (section 5.1, Table 1).
+
+The paper replays job logs from three LLNL clusters: Thunder and Atlas
+(Feitelson's workload archive [12]) and four months of Cab [32].  Those
+logs are not redistributable here, so this module generates synthetic
+traces that match every characteristic Table 1 reports — system size,
+job count, maximum job size, run-time range, arrival-time availability —
+plus the two distributional facts the paper states explicitly:
+
+* "the job size distribution is roughly exponential in shape but
+  contains more job sizes that are powers of two";
+* "the job run times are skewed towards short-running jobs with only a
+  handful of long-running jobs" (modeled log-normally with a clamp at
+  the Table 1 maximum).
+
+For the Cab months, arrival times are a Poisson process whose rate is
+set from a per-month offered-load factor; the paper keeps Cab arrivals
+(scaling Aug/Nov by 0.5 because of their low native load), and the
+month profiles below bake in native loads that reproduce that setup.
+
+Every generator takes ``num_jobs`` so experiments can run scaled-down
+replicas with the same distributions (DESIGN.md section 7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.sched.job import Job
+from repro.traces.synthetic import assign_bandwidth_classes
+from repro.traces.trace import Trace
+from repro.util.rng import rng_for
+
+#: Table 1 characteristics of each modeled trace.
+PAPER_TRACES = {
+    "Thunder": dict(system_nodes=1024, num_jobs=105_764, max_job=965,
+                    max_runtime=172_362.0, arrivals=False),
+    "Atlas": dict(system_nodes=1152, num_jobs=29_700, max_job=1024,
+                  max_runtime=342_754.0, arrivals=False),
+    # Native offered loads: Aug and Nov ran light (the paper halves their
+    # arrival times, doubling the rate); Sep/Oct ran near saturation with
+    # Oct the heaviest (it is the paper's worst Cab month).  All months
+    # stay *below* saturation — production queues drain; the steady-state
+    # metric then measures the contention episodes, as in the paper.
+    "Aug-Cab": dict(system_nodes=1296, num_jobs=30_691, max_job=257,
+                    max_runtime=86_429.0, arrivals=True, load=0.44),
+    "Sep-Cab": dict(system_nodes=1296, num_jobs=87_564, max_job=256,
+                    max_runtime=57_629.0, arrivals=True, load=0.90),
+    "Oct-Cab": dict(system_nodes=1296, num_jobs=125_228, max_job=258,
+                    max_runtime=93_623.0, arrivals=True, load=0.96),
+    "Nov-Cab": dict(system_nodes=1296, num_jobs=50_353, max_job=256,
+                    max_runtime=86_426.0, arrivals=True, load=0.44),
+}
+
+
+def _hpc_sizes(
+    rng: np.random.Generator,
+    num_jobs: int,
+    mean_size: float,
+    max_job: int,
+    pow2_fraction: float,
+) -> np.ndarray:
+    """Roughly-exponential sizes with extra mass on powers of two."""
+    sizes = np.maximum(1, np.rint(rng.exponential(mean_size, num_jobs))).astype(int)
+    np.minimum(sizes, max_job, out=sizes)
+    snap = rng.random(num_jobs) < pow2_fraction
+    # Snap a fraction of jobs to the nearest power of two (>= 1).
+    with np.errstate(divide="ignore"):
+        exps = np.where(sizes > 0, np.rint(np.log2(np.maximum(sizes, 1))), 0)
+    pow2 = np.minimum(2 ** exps.astype(int), max_job)
+    sizes[snap] = pow2[snap]
+    return sizes
+
+
+def _skewed_runtimes(
+    rng: np.random.Generator,
+    num_jobs: int,
+    median: float,
+    sigma: float,
+    max_runtime: float,
+) -> np.ndarray:
+    """Log-normal run times: mostly short, a handful of very long jobs."""
+    rt = rng.lognormal(mean=math.log(median), sigma=sigma, size=num_jobs)
+    return np.clip(rt, 1.0, max_runtime)
+
+
+_DAY = 86_400.0
+_WEEK = 7 * _DAY
+
+
+def _diurnal_intensity(t: float) -> float:
+    """Relative submission intensity at wall-clock time ``t`` (mean ~1).
+
+    A smooth day/night cycle (peak mid-afternoon, trough pre-dawn) and a
+    weekday/weekend step, the two dominant periodicities in production
+    job logs.
+    """
+    hour = (t % _DAY) / 3600.0
+    day_cycle = 1.0 + 0.5 * math.sin((hour - 9.0) * math.pi / 12.0)
+    weekday = (t % _WEEK) / _DAY  # 0..7, with 5..7 the weekend
+    week_cycle = 0.6 if weekday >= 5.0 else 1.16  # mean ~1 over the week
+    return day_cycle * week_cycle
+
+
+def _apply_diurnal_cycle(arrivals: np.ndarray) -> np.ndarray:
+    """Warp homogeneous-Poisson arrivals into an inhomogeneous process
+    with :func:`_diurnal_intensity`, via time-change: each inter-arrival
+    gap is consumed at the local intensity."""
+    out = np.empty_like(arrivals)
+    t = 0.0
+    prev = 0.0
+    step = 300.0  # integration resolution: 5 simulated minutes
+    for idx, a in enumerate(arrivals):
+        need = a - prev  # homogeneous "work" to consume
+        prev = a
+        while need > 0:
+            intensity = _diurnal_intensity(t)
+            chunk = min(step, need / intensity)
+            t += chunk
+            need -= chunk * intensity
+        out[idx] = t
+    return out
+
+
+def thunder_like(num_jobs: Optional[int] = None, seed: int = 0) -> Trace:
+    """A Thunder-like trace: 1024-node system, jobs up to 965 nodes,
+    run times 1-172362 s, arrivals discarded (all at time zero)."""
+    spec = PAPER_TRACES["Thunder"]
+    n = num_jobs or spec["num_jobs"]
+    rng = rng_for("llnl/thunder", seed)
+    sizes = _hpc_sizes(rng, n, mean_size=12.0, max_job=spec["max_job"],
+                       pow2_fraction=0.55)
+    # A handful of near-machine-size jobs, as the real log contains.
+    # The rate is per-job so scaled-down replicas are not over-stressed;
+    # each such job forces a near-total drain, and the drain cost only
+    # amortizes when these jobs are genuinely rare.
+    n_big = n // 30_000
+    big = rng.integers(0, n, size=n_big)
+    sizes[big] = rng.integers(spec["max_job"] // 2, spec["max_job"] + 1,
+                              size=n_big)
+    # "Skewed towards short-running jobs with only a handful of
+    # long-running jobs": the tail probability of a multi-day job is a
+    # few in ten thousand, so near-machine drains finish in hours.
+    runtimes = _skewed_runtimes(rng, n, median=500.0, sigma=1.35,
+                                max_runtime=spec["max_runtime"])
+    jobs = [
+        Job(id=i, size=int(sizes[i]), runtime=float(runtimes[i]), arrival=0.0)
+        for i in range(n)
+    ]
+    assign_bandwidth_classes(jobs, seed=seed)
+    return Trace("Thunder", jobs, system_nodes=spec["system_nodes"],
+                 has_arrivals=False,
+                 description="Thunder-like synthetic equivalent (see DESIGN.md)")
+
+
+def atlas_like(num_jobs: Optional[int] = None, seed: int = 0) -> Trace:
+    """An Atlas-like trace: 1152-node system including several
+    whole-machine (1024-node) requests — the paper's worst case for
+    every scheme's utilization."""
+    spec = PAPER_TRACES["Atlas"]
+    n = num_jobs or spec["num_jobs"]
+    rng = rng_for("llnl/atlas", seed)
+    sizes = _hpc_sizes(rng, n, mean_size=24.0, max_job=spec["max_job"],
+                       pow2_fraction=0.6)
+    # "Several whole-machine job requests" — the reason Atlas is the
+    # worst-case trace for every scheme, Baseline included (section 6.1).
+    whole = rng.integers(0, n, size=max(1, n // 6000))
+    sizes[whole] = spec["max_job"]
+    runtimes = _skewed_runtimes(rng, n, median=550.0, sigma=1.35,
+                                max_runtime=spec["max_runtime"])
+    jobs = [
+        Job(id=i, size=int(sizes[i]), runtime=float(runtimes[i]), arrival=0.0)
+        for i in range(n)
+    ]
+    assign_bandwidth_classes(jobs, seed=seed)
+    return Trace("Atlas", jobs, system_nodes=spec["system_nodes"],
+                 has_arrivals=False,
+                 description="Atlas-like synthetic equivalent (see DESIGN.md)")
+
+
+def cab_like(
+    month: str,
+    num_jobs: Optional[int] = None,
+    seed: int = 0,
+    diurnal: bool = False,
+) -> Trace:
+    """A Cab-like trace for ``month`` in {aug, sep, oct, nov}.
+
+    Arrival times are retained (Poisson at the month's native offered
+    load); the experiment layer applies the paper's 0.5 scaling to the
+    Aug and Nov months.
+
+    ``diurnal=True`` modulates the arrival rate with the day/night and
+    weekday/weekend cycle production logs exhibit (Feitelson's workload
+    modeling): daytime submission peaks at roughly twice the nighttime
+    rate, weekends at ~60 % of weekdays.  The mean offered load is kept
+    at the month's load factor.
+    """
+    key = f"{month.capitalize()}-Cab"
+    if key not in PAPER_TRACES:
+        raise ValueError(f"unknown Cab month {month!r}; expected aug/sep/oct/nov")
+    spec = PAPER_TRACES[key]
+    n = num_jobs or spec["num_jobs"]
+    rng = rng_for(f"llnl/cab/{month.lower()}", seed)
+    sizes = _hpc_sizes(rng, n, mean_size=12.0, max_job=spec["max_job"],
+                       pow2_fraction=0.6)
+    # Cab's job mix includes occasional 128- and 256-node jobs (Table 1's
+    # maxima are 256-258); give them explicit mass beyond the exponential
+    # tail so every month exercises them.
+    spikes = rng.integers(0, n, size=max(2, n // 1000))
+    sizes[spikes] = rng.choice([128, 192, 256], size=len(spikes))
+    sizes = np.minimum(sizes, spec["max_job"])
+    runtimes = _skewed_runtimes(rng, n, median=400.0, sigma=1.35,
+                                max_runtime=spec["max_runtime"])
+    # Poisson arrivals at the month's offered load: the mean inter-arrival
+    # time that makes (mean work) / (capacity) equal the load factor.
+    mean_work = float(np.mean(sizes * runtimes))
+    rate = spec["load"] * spec["system_nodes"] / mean_work  # jobs per second
+    gaps = rng.exponential(1.0 / rate, size=n)
+    arrivals = np.cumsum(gaps) - gaps[0]
+    if diurnal:
+        arrivals = _apply_diurnal_cycle(arrivals)
+    jobs = [
+        Job(id=i, size=int(sizes[i]), runtime=float(runtimes[i]),
+            arrival=float(arrivals[i]))
+        for i in range(n)
+    ]
+    assign_bandwidth_classes(jobs, seed=seed)
+    return Trace(key, jobs, system_nodes=spec["system_nodes"],
+                 has_arrivals=True,
+                 description=f"{key}-like synthetic equivalent (see DESIGN.md)")

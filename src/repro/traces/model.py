@@ -1,0 +1,148 @@
+"""Composable workload models: build your own Table 1 row.
+
+The LLNL-like generators in :mod:`repro.traces.llnl` are fixed presets;
+this module exposes the same ingredients as a configurable model so
+users can synthesize workloads for their own machines:
+
+* **sizes** — exponential body, optional snapping to powers of two,
+  optional explicit "spike" sizes (the 128/256-node mass of Cab),
+  optional rare near-machine jobs;
+* **run times** — log-normal (skewed short, heavy tail) or uniform
+  (the paper's synthetic traces), clamped to a range;
+* **arrivals** — all-at-zero, homogeneous Poisson at a target offered
+  load, optionally warped by the diurnal day/week cycle.
+
+Example::
+
+    model = WorkloadModel(
+        name="my-cluster",
+        system_nodes=4096,
+        mean_size=24, pow2_fraction=0.5, max_size=1024,
+        runtime="lognormal", median_runtime=900, sigma=1.4,
+        arrivals="poisson", load=0.95, diurnal=True,
+    )
+    trace = model.generate(num_jobs=50_000, seed=1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sched.job import Job
+from repro.traces.llnl import _apply_diurnal_cycle, _hpc_sizes, _skewed_runtimes
+from repro.traces.synthetic import assign_bandwidth_classes
+from repro.traces.trace import Trace
+from repro.util.rng import rng_for
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """A parameterized job-mix / run-time / arrival model."""
+
+    name: str
+    system_nodes: int
+
+    # --- sizes ---
+    mean_size: float = 16.0
+    max_size: int = 1024
+    pow2_fraction: float = 0.0
+    #: explicit size spikes: (size, probability) pairs
+    spikes: Tuple[Tuple[int, float], ...] = ()
+    #: probability of a near-machine job (uniform in [max/2, max])
+    near_machine_prob: float = 0.0
+
+    # --- run times ---
+    runtime: str = "lognormal"  # or "uniform"
+    median_runtime: float = 600.0
+    sigma: float = 1.4
+    min_runtime: float = 1.0
+    max_runtime: float = 86_400.0
+
+    # --- arrivals ---
+    arrivals: str = "zero"  # or "poisson"
+    load: float = 1.0
+    diurnal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.system_nodes < 1:
+            raise ValueError("system_nodes must be positive")
+        if not 1 <= self.max_size <= self.system_nodes:
+            raise ValueError("max_size must be within the system")
+        if self.runtime not in ("lognormal", "uniform"):
+            raise ValueError(f"unknown runtime model {self.runtime!r}")
+        if self.arrivals not in ("zero", "poisson"):
+            raise ValueError(f"unknown arrival model {self.arrivals!r}")
+        if not 0 <= self.pow2_fraction <= 1:
+            raise ValueError("pow2_fraction must be in [0, 1]")
+        if not 0 <= self.near_machine_prob <= 1:
+            raise ValueError("near_machine_prob must be in [0, 1]")
+        if any(not (0 <= p <= 1) or s < 1 for s, p in self.spikes):
+            raise ValueError("spikes must be (size >= 1, probability) pairs")
+        if self.arrivals == "poisson" and self.load <= 0:
+            raise ValueError("offered load must be positive")
+        if self.min_runtime <= 0 or self.max_runtime < self.min_runtime:
+            raise ValueError("runtime range must be positive and ordered")
+
+    # ------------------------------------------------------------------
+    def generate(self, num_jobs: int, seed: int = 0) -> Trace:
+        """Generate a trace of ``num_jobs`` jobs."""
+        if num_jobs < 1:
+            raise ValueError("num_jobs must be positive")
+        rng = rng_for(f"workload-model/{self.name}", seed)
+
+        sizes = _hpc_sizes(
+            rng, num_jobs,
+            mean_size=self.mean_size,
+            max_job=self.max_size,
+            pow2_fraction=self.pow2_fraction,
+        )
+        for size, prob in self.spikes:
+            hit = rng.random(num_jobs) < prob
+            sizes[hit] = min(size, self.max_size)
+        if self.near_machine_prob:
+            hit = rng.random(num_jobs) < self.near_machine_prob
+            count = int(hit.sum())
+            if count:
+                sizes[hit] = rng.integers(
+                    self.max_size // 2, self.max_size + 1, size=count
+                )
+
+        if self.runtime == "lognormal":
+            runtimes = _skewed_runtimes(
+                rng, num_jobs,
+                median=self.median_runtime,
+                sigma=self.sigma,
+                max_runtime=self.max_runtime,
+            )
+            runtimes = np.maximum(runtimes, self.min_runtime)
+        else:
+            runtimes = rng.uniform(
+                self.min_runtime, self.max_runtime, size=num_jobs
+            )
+
+        if self.arrivals == "zero":
+            arrivals = np.zeros(num_jobs)
+        else:
+            mean_work = float(np.mean(sizes * runtimes))
+            rate = self.load * self.system_nodes / mean_work
+            gaps = rng.exponential(1.0 / rate, size=num_jobs)
+            arrivals = np.cumsum(gaps) - gaps[0]
+            if self.diurnal:
+                arrivals = _apply_diurnal_cycle(arrivals)
+
+        jobs = [
+            Job(id=i, size=int(sizes[i]), runtime=float(runtimes[i]),
+                arrival=float(arrivals[i]))
+            for i in range(num_jobs)
+        ]
+        assign_bandwidth_classes(jobs, seed=seed)
+        return Trace(
+            name=self.name,
+            jobs=jobs,
+            system_nodes=self.system_nodes,
+            has_arrivals=self.arrivals != "zero",
+            description=f"generated by WorkloadModel({self.name})",
+        )

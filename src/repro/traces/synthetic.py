@@ -1,0 +1,81 @@
+"""LaaS-style synthetic traces (section 5.1).
+
+"In the synthetic traces, the job sizes are drawn from an exponential
+distribution, and the job run times are drawn from a uniform random
+distribution … all jobs arriving at time zero."  The paper generates
+them the same way as the original LaaS paper, modeled on a Julich
+JUROPA trace, with mean job sizes of 16, 22 and 28 and run times of
+20-3000 s (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sched.job import Job
+from repro.traces.trace import Trace
+from repro.util.rng import rng_for
+
+#: the per-link bandwidth classes (GB/s) of section 5.4.2
+BANDWIDTH_CLASSES = (0.5, 1.0, 1.5, 2.0)
+
+
+def synthetic_trace(
+    mean_size: int,
+    num_jobs: int = 10_000,
+    min_runtime: float = 20.0,
+    max_runtime: float = 3000.0,
+    max_size: Optional[int] = None,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Trace:
+    """Generate a Synth-``mean_size`` trace.
+
+    Sizes are exponential with the given mean, rounded up to at least
+    one node (and clamped to ``max_size`` when given — jobs larger than
+    the target cluster make no sense).  Run times are uniform.  All jobs
+    arrive at time zero.
+    """
+    if mean_size < 1 or num_jobs < 1:
+        raise ValueError("mean_size and num_jobs must be positive")
+    if min_runtime <= 0 or max_runtime < min_runtime:
+        raise ValueError("runtime range must be positive and ordered")
+    name = name or f"Synth-{mean_size}"
+    rng = rng_for(f"synthetic/{name}", seed)
+    raw = rng.exponential(scale=mean_size, size=num_jobs)
+    sizes = [max(1, int(round(s))) for s in raw]
+    if max_size is not None:
+        sizes = [min(s, max_size) for s in sizes]
+    runtimes = rng.uniform(min_runtime, max_runtime, size=num_jobs)
+    jobs = [
+        Job(id=i, size=sizes[i], runtime=float(runtimes[i]), arrival=0.0)
+        for i in range(num_jobs)
+    ]
+    assign_bandwidth_classes(jobs, seed=seed)
+    return Trace(
+        name=name,
+        jobs=jobs,
+        system_nodes=None,  # synthetic traces have no source system
+        has_arrivals=False,
+        description=(
+            f"LaaS-style synthetic trace: exponential sizes (mean "
+            f"{mean_size}), uniform runtimes {min_runtime:g}-{max_runtime:g}s"
+        ),
+    )
+
+
+def assign_bandwidth_classes(
+    jobs: Sequence[Job],
+    classes: Sequence[float] = BANDWIDTH_CLASSES,
+    seed: int = 0,
+) -> List[Job]:
+    """Randomly assign each job a per-link bandwidth need (section 5.4.2).
+
+    Only the LC+S scheme reads ``bw_need``; the assignment is keyed by
+    the jobs' ids so it is stable across schemes and scenarios.
+    """
+    rng = rng_for("bandwidth-classes", seed)
+    picks = rng.integers(0, len(classes), size=len(jobs))
+    for job, p in zip(jobs, picks):
+        job.bw_need = float(classes[p])
+    return list(jobs)

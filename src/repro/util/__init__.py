@@ -1,0 +1,6 @@
+"""Small shared utilities: seeded RNG streams and timing helpers."""
+
+from repro.util.rng import rng_for, spawn_rngs
+from repro.util.timing import Timer
+
+__all__ = ["rng_for", "spawn_rngs", "Timer"]

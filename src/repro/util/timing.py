@@ -1,0 +1,35 @@
+"""Wall-clock accounting for Table 3 (scheduling time per job)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.calls
+    1
+    """
+
+    seconds: float = 0.0
+    calls: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += time.perf_counter() - self._start
+        self.calls += 1
+
+    @property
+    def mean(self) -> float:
+        """Average seconds per timed call (0 when never used)."""
+        return self.seconds / self.calls if self.calls else 0.0

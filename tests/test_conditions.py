@@ -1,0 +1,194 @@
+"""The formal-conditions validator against hand-built allocations.
+
+Each illegal example mirrors a violation the paper illustrates: tapered
+links (Figure 1 left), unbalanced node spread (Figure 1 center),
+disconnected link choices (Figure 1 right), and the lemmas' remainder
+rules.
+"""
+
+import pytest
+
+from repro.core.allocator import Allocation
+from repro.core.conditions import ConditionViolation, assert_valid, check_allocation
+from repro.topology.fattree import FatTree, LinkId, SpineLinkId
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)  # m1=m2=4, m3=8, 128 nodes
+
+
+def make_alloc(tree, nodes, leaf_links=(), spine_links=(), size=None):
+    return Allocation(
+        job_id=1,
+        size=size if size is not None else len(nodes),
+        nodes=tuple(nodes),
+        leaf_links=tuple(leaf_links),
+        spine_links=tuple(spine_links),
+    )
+
+
+class TestLegalAllocations:
+    def test_single_leaf_job_needs_no_links(self, tree):
+        alloc = make_alloc(tree, nodes=[0, 1, 2])
+        assert check_allocation(tree, alloc) == []
+
+    def test_two_leaves_common_l2(self, tree):
+        # 2 nodes on each of two leaves, both using L2 indices {0, 1}
+        alloc = make_alloc(
+            tree,
+            nodes=[0, 1, 4, 5],
+            leaf_links=[LinkId(0, 0), LinkId(0, 1), LinkId(1, 0), LinkId(1, 1)],
+        )
+        assert check_allocation(tree, alloc) == []
+
+    def test_remainder_leaf_subset(self, tree):
+        # full leaves with nL=2 at S={0,1}; remainder leaf 1 node at Sr={1}
+        alloc = make_alloc(
+            tree,
+            nodes=[0, 1, 4, 5, 8],
+            leaf_links=[
+                LinkId(0, 0), LinkId(0, 1),
+                LinkId(1, 0), LinkId(1, 1),
+                LinkId(2, 1),
+            ],
+        )
+        assert check_allocation(tree, alloc) == []
+
+    def test_figure3_style_three_level(self, tree):
+        # Two full pods (pods 0,1) x 1 full leaf each (all 4 nodes), plus
+        # remainder pod 2 with a remainder leaf of 2 nodes.
+        m1 = tree.m1
+        nodes = (
+            list(tree.nodes_of_leaf(0))
+            + list(tree.nodes_of_leaf(4))
+            + list(tree.nodes_of_leaf(8))[:2]
+        )
+        leaf_links = (
+            [LinkId(0, i) for i in range(m1)]
+            + [LinkId(4, i) for i in range(m1)]
+            + [LinkId(8, 0), LinkId(8, 1)]
+        )
+        spine_links = (
+            [SpineLinkId(0, i, 0) for i in range(m1)]
+            + [SpineLinkId(1, i, 0) for i in range(m1)]
+            + [SpineLinkId(2, 0, 0), SpineLinkId(2, 1, 0)]
+        )
+        alloc = make_alloc(tree, nodes, leaf_links, spine_links)
+        assert check_allocation(tree, alloc) == []
+        assert_valid(tree, alloc)
+
+
+class TestIllegalAllocations:
+    def test_uneven_leaves_rejected(self, tree):
+        # 3 + 1 + 2 nodes on three leaves: two "remainder" leaves (Lemma 1)
+        alloc = make_alloc(tree, nodes=[0, 1, 2, 4, 8, 9])
+        violations = check_allocation(tree, alloc)
+        assert any("remainder leaf" in v for v in violations)
+
+    def test_uneven_pods_rejected(self, tree):
+        # pods with 8, 4 and 2 nodes: two remainder subtrees (Lemma 2)
+        nodes = (
+            list(tree.nodes_of_leaf(0)) + list(tree.nodes_of_leaf(1))
+            + list(tree.nodes_of_leaf(4))
+            + list(tree.nodes_of_leaf(8))[:2]
+        )
+        alloc = make_alloc(tree, nodes)
+        violations = check_allocation(tree, alloc)
+        assert any("remainder" in v for v in violations)
+
+    def test_remainder_leaf_must_be_in_remainder_pod(self, tree):
+        # pods 0 and 1: pod 0 has leaves (4, 2) nodes = remainder leaf in
+        # the larger pod (violates Lemma 3)
+        nodes = (
+            list(tree.nodes_of_leaf(0))          # full leaf, pod 0
+            + list(tree.nodes_of_leaf(1))[:2]     # partial leaf, pod 0
+            + list(tree.nodes_of_leaf(4))         # full leaf, pod 1
+        )
+        alloc = make_alloc(tree, nodes)
+        violations = check_allocation(tree, alloc, exact_nodes=False)
+        assert violations
+
+    def test_tapering_rejected(self, tree):
+        # Figure 1 (left): 2 nodes per leaf but only one uplink each
+        alloc = make_alloc(
+            tree,
+            nodes=[0, 1, 4, 5],
+            leaf_links=[LinkId(0, 0), LinkId(1, 0)],
+        )
+        violations = check_allocation(tree, alloc)
+        assert any("imbalance" in v for v in violations)
+
+    def test_mismatched_l2_sets_rejected(self, tree):
+        # Figure 1 (right): balanced counts but different L2 indices
+        alloc = make_alloc(
+            tree,
+            nodes=[0, 1, 4, 5],
+            leaf_links=[LinkId(0, 0), LinkId(0, 1), LinkId(1, 2), LinkId(1, 3)],
+        )
+        violations = check_allocation(tree, alloc)
+        assert any("different L2 sets" in v for v in violations)
+
+    def test_remainder_leaf_not_subset_rejected(self, tree):
+        alloc = make_alloc(
+            tree,
+            nodes=[0, 1, 4, 5, 8],
+            leaf_links=[
+                LinkId(0, 0), LinkId(0, 1),
+                LinkId(1, 0), LinkId(1, 1),
+                LinkId(2, 3),  # Sr not within S
+            ],
+        )
+        violations = check_allocation(tree, alloc)
+        assert any("subset" in v for v in violations)
+
+    def test_single_leaf_with_links_rejected(self, tree):
+        alloc = make_alloc(tree, nodes=[0, 1], leaf_links=[LinkId(0, 0)])
+        violations = check_allocation(tree, alloc)
+        assert any("single-leaf" in v for v in violations)
+
+    def test_single_pod_with_spine_links_rejected(self, tree):
+        alloc = make_alloc(
+            tree,
+            nodes=[0, 1, 4, 5],
+            leaf_links=[LinkId(0, 0), LinkId(0, 1), LinkId(1, 0), LinkId(1, 1)],
+            spine_links=[SpineLinkId(0, 0, 0)],
+        )
+        violations = check_allocation(tree, alloc)
+        assert any("spine" in v for v in violations)
+
+    def test_cross_pod_without_spines_rejected(self, tree):
+        nodes = list(tree.nodes_of_leaf(0)) + list(tree.nodes_of_leaf(4))
+        leaf_links = [LinkId(0, i) for i in range(4)] + [
+            LinkId(4, i) for i in range(4)
+        ]
+        alloc = make_alloc(tree, nodes, leaf_links)
+        violations = check_allocation(tree, alloc)
+        assert any("imbalance" in v for v in violations)
+
+    def test_spine_sets_must_match_across_pods(self, tree):
+        nodes = list(tree.nodes_of_leaf(0)) + list(tree.nodes_of_leaf(4))
+        leaf_links = [LinkId(0, i) for i in range(4)] + [
+            LinkId(4, i) for i in range(4)
+        ]
+        spine_links = [SpineLinkId(0, i, 0) for i in range(4)] + [
+            SpineLinkId(1, i, 1) for i in range(4)  # different spine index
+        ]
+        alloc = make_alloc(tree, nodes, leaf_links, spine_links)
+        violations = check_allocation(tree, alloc)
+        assert any("spine" in v for v in violations)
+
+    def test_duplicate_nodes_rejected(self, tree):
+        alloc = Allocation(job_id=1, size=2, nodes=(0, 0))
+        assert check_allocation(tree, alloc) == ["duplicate nodes"]
+
+    def test_exact_nodes_condition(self, tree):
+        # LaaS-style padding: 3 requested, 4 assigned
+        alloc = Allocation(job_id=1, size=3, nodes=(0, 1, 2, 3))
+        assert any("N != Nr" in v for v in check_allocation(tree, alloc))
+        assert check_allocation(tree, alloc, exact_nodes=False) == []
+
+    def test_assert_valid_raises_with_details(self, tree):
+        alloc = make_alloc(tree, nodes=[0, 1], leaf_links=[LinkId(0, 0)])
+        with pytest.raises(ConditionViolation, match="single-leaf"):
+            assert_valid(tree, alloc)

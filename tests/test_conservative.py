@@ -1,0 +1,119 @@
+"""Conservative backfilling and walltime-estimate extensions."""
+
+import pytest
+
+from repro.core.baseline import BaselineAllocator
+from repro.core.jigsaw import JigsawAllocator
+from repro.sched.job import Job
+from repro.sched.simulator import Simulator
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)  # 128 nodes
+
+
+def run(tree, jobs, **kwargs):
+    return Simulator(BaselineAllocator(tree), **kwargs).run(jobs)
+
+
+def by_id(result):
+    return {r.job_id: r for r in result.jobs}
+
+
+class TestConservativePolicy:
+    def test_backfills_when_harmless(self, tree):
+        jobs = [
+            Job(id=1, size=100, runtime=100.0),
+            Job(id=2, size=100, runtime=10.0),   # waits for t=100
+            Job(id=3, size=20, runtime=50.0),    # ends before job 2 starts
+        ]
+        result = run(tree, jobs, backfill_policy="conservative")
+        recs = by_id(result)
+        assert recs[3].start == 0.0
+        assert recs[2].start == pytest.approx(100.0)
+
+    def test_never_delays_earlier_reservation(self, tree):
+        """Job 4 fits now and EASY's spare rule lets it run, but its run
+        would overlap job 3's reservation window — conservative refuses."""
+        jobs = [
+            Job(id=1, size=100, runtime=100.0),
+            Job(id=2, size=100, runtime=100.0),  # reserved at t=100
+            Job(id=3, size=120, runtime=10.0),   # reserved at t=200
+            Job(id=4, size=28, runtime=250.0),   # would overlap [200,210)
+        ]
+        easy = run(tree, jobs, backfill_policy="easy")
+        assert by_id(easy)[4].start == 0.0  # the spare rule admits it
+        cons = run(tree, jobs, backfill_policy="conservative")
+        recs = by_id(cons)
+        assert recs[3].start == pytest.approx(200.0)
+        assert recs[4].start >= 210.0  # after job 3's window, not inside it
+
+    def test_all_jobs_complete(self, tree):
+        jobs = [
+            Job(id=i, size=(i * 7) % 40 + 1, runtime=5.0 + i % 11)
+            for i in range(150)
+        ]
+        result = run(tree, jobs, backfill_policy="conservative")
+        assert len(result.jobs) == 150
+        assert not result.unscheduled
+
+    def test_works_with_constrained_allocator(self, tree):
+        jobs = [Job(id=i, size=(i % 25) + 1, runtime=10.0) for i in range(100)]
+        result = Simulator(
+            JigsawAllocator(tree), backfill_policy="conservative"
+        ).run(jobs)
+        assert len(result.jobs) == 100
+
+    def test_unknown_policy_rejected(self, tree):
+        with pytest.raises(ValueError, match="backfill policy"):
+            Simulator(BaselineAllocator(tree), backfill_policy="greedy")
+
+
+class TestWalltimeEstimates:
+    def test_factor_below_one_rejected(self, tree):
+        with pytest.raises(ValueError, match="estimate_factor"):
+            Simulator(BaselineAllocator(tree), estimate_factor=0.5)
+
+    def test_actual_completion_unaffected(self, tree):
+        jobs = [Job(id=1, size=10, runtime=100.0)]
+        result = run(tree, jobs, estimate_factor=3.0)
+        assert by_id(result)[1].end == pytest.approx(100.0)
+
+    def test_uniform_overestimation_keeps_shadow_rule_consistent(self, tree):
+        """When every estimate scales by the same factor, the
+        finishes-before-shadow comparison scales on both sides, so a
+        marginal backfill decision is unchanged — the factor's real
+        effects are early completions and spare-rule interplay."""
+        jobs = [
+            Job(id=1, size=100, runtime=100.0),
+            Job(id=2, size=120, runtime=10.0),   # shadow at job 1's est end
+            Job(id=3, size=28, runtime=99.0),    # just fits before it
+        ]
+        for factor in (1.0, 2.0):
+            result = run(tree, jobs, estimate_factor=factor)
+            assert by_id(result)[3].start == 0.0, factor
+
+    def test_estimates_used_for_planning_are_scaled(self, tree):
+        """Conservative reservations are spaced by estimated walltimes,
+        so a job planned behind an overestimated one still starts at the
+        real completion (the next scheduling event re-plans)."""
+        jobs = [
+            Job(id=1, size=128, runtime=10.0),
+            Job(id=2, size=128, runtime=10.0),
+        ]
+        result = run(
+            tree, jobs, backfill_policy="conservative", estimate_factor=4.0
+        )
+        assert by_id(result)[2].start == pytest.approx(10.0)
+
+    def test_early_completion_reopens_capacity(self, tree):
+        """With overestimates, jobs finish before their estimated end and
+        the free capacity is usable immediately."""
+        jobs = [
+            Job(id=1, size=128, runtime=10.0),
+            Job(id=2, size=128, runtime=10.0),
+        ]
+        result = run(tree, jobs, estimate_factor=5.0)
+        assert by_id(result)[2].start == pytest.approx(10.0)

@@ -1,0 +1,119 @@
+"""Contention analysis: interference measured, not asserted."""
+
+import pytest
+
+from repro.core.registry import make_allocator
+from repro.routing.contention import (
+    contention_report,
+    link_load,
+    permutation_traffic,
+    route_flows,
+)
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+@pytest.fixture
+def packed(tree):
+    allocator = make_allocator("jigsaw", tree)
+    allocations = []
+    for jid, size in enumerate([5, 11, 20, 9, 16, 33], start=1):
+        alloc = allocator.allocate(jid, size)
+        assert alloc is not None
+        allocations.append(alloc)
+    return allocations
+
+
+class TestTrafficGeneration:
+    def test_permutation_traffic_is_partial_permutation(self, packed):
+        flows = permutation_traffic(packed, seed=0)
+        for alloc in packed:
+            srcs = [s for j, s, d in flows if j == alloc.job_id]
+            dsts = [d for j, s, d in flows if j == alloc.job_id]
+            assert len(set(srcs)) == len(srcs)
+            assert len(set(dsts)) == len(dsts)
+            assert set(srcs) <= set(alloc.nodes)
+            assert set(dsts) <= set(alloc.nodes)
+
+    def test_no_self_flows(self, packed):
+        flows = permutation_traffic(packed, seed=0)
+        assert all(s != d for _, s, d in flows)
+
+    def test_deterministic_by_seed(self, packed):
+        assert permutation_traffic(packed, seed=3) == permutation_traffic(
+            packed, seed=3
+        )
+
+
+class TestRouting:
+    def test_partition_routes_confined(self, tree, packed):
+        flows = permutation_traffic(packed, seed=1)
+        by_id = {a.job_id: a for a in packed}
+        routes = route_flows(tree, flows, allocations=by_id)
+        from repro.routing.dmodk import route_stays_inside
+
+        for (job_id, _s, _d), route in routes.items():
+            assert route_stays_inside(route, by_id[job_id])
+
+    def test_link_load_counts_every_hop(self, tree, packed):
+        flows = permutation_traffic(packed, seed=1)
+        routes = route_flows(tree, flows)
+        load = link_load(routes)
+        total_hops = sum(r.hops for r in routes.values())
+        assert sum(len(v) for v in load.values()) == total_hops
+
+
+class TestReports:
+    def test_partition_routing_is_inter_job_interference_free(self, tree, packed):
+        report = contention_report(tree, packed, seed=1,
+                                   use_partition_routing=True)
+        assert report.interference_free
+        assert all(j.interfered_flows == 0 for j in report.jobs.values())
+
+    def test_rearranged_routing_reaches_slowdown_one(self, tree, packed):
+        report = contention_report(tree, packed, seed=1,
+                                   use_partition_routing=True, rearranged=True)
+        assert report.interference_free
+        assert report.max_link_sharing == 1
+        assert report.mean_slowdown == 1.0
+        assert report.congested_links == 0
+
+    def test_baseline_routing_interferes_under_load(self, tree):
+        """With the machine packed by a node-oblivious allocator, shared
+        D-mod-k produces inter-job link sharing."""
+        allocator = make_allocator("baseline", tree)
+        allocations = []
+        jid = 0
+        for size in [10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 14, 14]:
+            jid += 1
+            alloc = allocator.allocate(jid, size)
+            assert alloc is not None
+            allocations.append(alloc)
+        interfered = 0
+        for seed in range(4):
+            report = contention_report(tree, allocations, seed=seed)
+            interfered += sum(
+                j.interfered_flows for j in report.jobs.values()
+            )
+        assert interfered > 0
+
+    def test_report_covers_all_jobs(self, tree, packed):
+        report = contention_report(tree, packed, seed=1)
+        assert set(report.jobs) == {a.job_id for a in packed}
+
+    def test_summary_text(self, tree, packed):
+        report = contention_report(tree, packed, seed=1)
+        text = report.summary()
+        assert "jobs: 6" in text
+        assert "slowdown" in text
+
+    def test_single_node_jobs_never_interfere(self, tree):
+        allocator = make_allocator("jigsaw", tree)
+        allocations = [allocator.allocate(j, 1) for j in range(1, 6)]
+        report = contention_report(tree, allocations, seed=0)
+        assert report.interference_free
+        assert report.max_link_sharing == 1

@@ -1,0 +1,67 @@
+"""Diurnal arrival modulation for Cab-like traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.traces import cab_like
+from repro.traces.llnl import _apply_diurnal_cycle, _diurnal_intensity
+
+
+class TestIntensity:
+    def test_day_cycle_peaks_afternoon(self):
+        afternoon = _diurnal_intensity(15 * 3600.0)
+        predawn = _diurnal_intensity(3 * 3600.0)
+        assert afternoon > 1.3 * predawn
+
+    def test_weekend_suppression(self):
+        weekday_noon = _diurnal_intensity(1 * 86400.0 + 12 * 3600.0)
+        weekend_noon = _diurnal_intensity(5 * 86400.0 + 12 * 3600.0)
+        assert weekend_noon < weekday_noon
+
+    def test_weekly_mean_near_one(self):
+        ts = np.arange(0, 7 * 86400.0, 600.0)
+        mean = float(np.mean([_diurnal_intensity(t) for t in ts]))
+        assert 0.9 < mean < 1.1
+
+    def test_always_positive(self):
+        for t in np.arange(0, 7 * 86400.0, 3571.0):
+            assert _diurnal_intensity(float(t)) > 0
+
+
+class TestWarp:
+    def test_monotone(self):
+        arrivals = np.cumsum(np.full(200, 500.0))
+        warped = _apply_diurnal_cycle(arrivals)
+        assert (np.diff(warped) > 0).all()
+
+    def test_low_intensity_stretches_gaps(self):
+        # two arrivals an hour apart starting pre-dawn (intensity < 1)
+        # take longer in wall-clock time than the homogeneous gap
+        arrivals = np.array([3 * 3600.0, 4 * 3600.0])
+        warped = _apply_diurnal_cycle(arrivals)
+        assert warped[1] - warped[0] > 3600.0
+
+    def test_total_span_comparable(self):
+        arrivals = np.cumsum(np.full(500, 1000.0))
+        warped = _apply_diurnal_cycle(arrivals)
+        # intensity has weekly mean ~1, so total span stays within ~25 %
+        assert 0.7 < warped[-1] / arrivals[-1] < 1.4
+
+
+class TestTraceIntegration:
+    def test_diurnal_trace_sorted_and_modulated(self):
+        trace = cab_like("sep", num_jobs=2000, seed=0, diurnal=True)
+        arr = np.array([j.arrival for j in trace.jobs])
+        assert (np.diff(arr) >= 0).all()
+        flat = cab_like("sep", num_jobs=2000, seed=0, diurnal=False)
+        arr_flat = np.array([j.arrival for j in flat.jobs])
+        # same jobs, different timing
+        assert not np.allclose(arr, arr_flat)
+        assert [j.size for j in trace.jobs] == [j.size for j in flat.jobs]
+
+    def test_default_is_homogeneous(self):
+        a = cab_like("aug", num_jobs=300, seed=1)
+        b = cab_like("aug", num_jobs=300, seed=1, diurnal=False)
+        assert [j.arrival for j in a.jobs] == [j.arrival for j in b.jobs]

@@ -1,0 +1,113 @@
+"""D-mod-k static routing."""
+
+import pytest
+
+from repro.core.jigsaw import JigsawAllocator
+from repro.routing.dmodk import Route, dmodk_route, route_stays_inside
+from repro.topology.fattree import FatTree, LinkId, SpineLinkId
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+class TestPathStructure:
+    def test_intra_leaf_uses_no_links(self, tree):
+        r = dmodk_route(tree, 0, 1)
+        assert r.hops == 0
+        assert list(r.links()) == []
+
+    def test_intra_pod_two_hops(self, tree):
+        r = dmodk_route(tree, 0, tree.m1)  # leaf 0 -> leaf 1, same pod
+        assert r.hops == 2
+        assert r.spine_up is None
+        assert r.up_leaf.leaf == 0
+        assert r.down_leaf.leaf == 1
+        assert r.up_leaf.l2_index == r.down_leaf.l2_index
+
+    def test_cross_pod_four_hops(self, tree):
+        dst = tree.nodes_per_pod  # first node of pod 1
+        r = dmodk_route(tree, 0, dst)
+        assert r.hops == 4
+        assert r.spine_up.pod == 0
+        assert r.spine_down.pod == 1
+        assert r.spine_up.l2_index == r.spine_down.l2_index == r.up_leaf.l2_index
+        assert r.spine_up.spine_index == r.spine_down.spine_index
+
+    def test_self_route_rejected(self, tree):
+        with pytest.raises(ValueError):
+            dmodk_route(tree, 3, 3)
+
+    def test_up_index_is_destination_mod(self, tree):
+        # D-mod-k: the up index equals the destination's index in its leaf
+        for dst in range(tree.m1, 2 * tree.m1):
+            r = dmodk_route(tree, 0, dst)
+            assert r.up_leaf.l2_index == dst % tree.m1
+
+
+class TestShiftPermutationBalance:
+    def test_shift_permutation_is_contention_free(self, tree):
+        """The property D-mod-k was designed for [35]: node i sending to
+        (i + k) mod N uses every link at most once in each direction."""
+        n = tree.num_nodes
+        for shift in (1, tree.m1, tree.nodes_per_pod, 37):
+            seen = set()
+            for src in range(n):
+                dst = (src + shift) % n
+                if src == dst:
+                    continue
+                for direction, link in dmodk_route(tree, src, dst).links():
+                    key = (direction, link)
+                    assert key not in seen, (shift, src, dst, key)
+                    seen.add(key)
+
+
+class TestRouteStaysInside:
+    def test_allocation_traffic_can_escape(self, tree):
+        """Figure 5 (left): plain D-mod-k routes over unallocated links."""
+        allocator = JigsawAllocator(tree)
+        allocator.allocate(1, 4)  # 1 full leaf... may be single-leaf
+        a = allocator.allocate(2, 6)  # 2 leaves: has links
+        escaped = 0
+        nodes = sorted(a.nodes)
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                if not route_stays_inside(dmodk_route(tree, src, dst), a):
+                    escaped += 1
+        assert escaped > 0
+
+    def test_route_inside_own_links(self, tree):
+        a_route = Route(
+            0, 4,
+            up_leaf=LinkId(0, 0),
+            down_leaf=LinkId(1, 0),
+        )
+        from repro.core.allocator import Allocation
+
+        alloc = Allocation(
+            job_id=1, size=2, nodes=(0, 4),
+            leaf_links=(LinkId(0, 0), LinkId(1, 0)),
+        )
+        assert route_stays_inside(a_route, alloc)
+        bad = Route(0, 4, up_leaf=LinkId(0, 1), down_leaf=LinkId(1, 0))
+        assert not route_stays_inside(bad, alloc)
+
+    def test_spine_links_checked(self, tree):
+        from repro.core.allocator import Allocation
+
+        route = Route(
+            0, 16,
+            up_leaf=LinkId(0, 0),
+            spine_up=SpineLinkId(0, 0, 0),
+            spine_down=SpineLinkId(1, 0, 0),
+            down_leaf=LinkId(4, 0),
+        )
+        alloc = Allocation(
+            job_id=1, size=2, nodes=(0, 16),
+            leaf_links=(LinkId(0, 0), LinkId(4, 0)),
+            spine_links=(SpineLinkId(0, 0, 0),),
+        )
+        assert not route_stays_inside(route, alloc)  # missing down spine

@@ -1,0 +1,96 @@
+"""Max-min fair rate allocation: textbook cases and the fairness property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.fairshare import max_min_fair_rates
+
+
+class TestTextbookCases:
+    def test_single_flow_gets_full_capacity(self):
+        r = max_min_fair_rates({"f": ["l1", "l2"]}, capacity=5.0)
+        assert r.rates["f"] == pytest.approx(5.0)
+
+    def test_linkless_flow_unconstrained(self):
+        r = max_min_fair_rates({"f": []}, capacity=3.0)
+        assert r.rates["f"] == pytest.approx(3.0)
+
+    def test_equal_sharing(self):
+        r = max_min_fair_rates({"a": ["l"], "b": ["l"], "c": ["l"]})
+        assert all(v == pytest.approx(1 / 3) for v in r.rates.values())
+        assert r.residual["l"] == pytest.approx(0.0)
+
+    def test_classic_three_flow_chain(self):
+        # A on l1; B on l1+l2; C on l2; all capacities 1 -> all 0.5
+        r = max_min_fair_rates({"a": ["l1"], "b": ["l1", "l2"], "c": ["l2"]})
+        assert all(v == pytest.approx(0.5) for v in r.rates.values())
+
+    def test_wide_second_link_leaves_headroom(self):
+        r = max_min_fair_rates(
+            {"a": ["l1"], "b": ["l1", "l2"], "c": ["l2"]},
+            capacities={"l2": 10.0},
+        )
+        assert r.rates["a"] == pytest.approx(0.5)
+        assert r.rates["b"] == pytest.approx(0.5)
+        assert r.rates["c"] == pytest.approx(9.5)
+
+    def test_tight_upstream_bottleneck(self):
+        # A limited to 0.4 upstream; B picks up the slack downstream
+        r = max_min_fair_rates(
+            {"a": ["l1", "l2"], "b": ["l2"]},
+            capacities={"l1": 0.4, "l2": 1.0},
+        )
+        assert r.rates["a"] == pytest.approx(0.4)
+        assert r.rates["b"] == pytest.approx(0.6)
+        assert r.bottleneck["a"] == "l1"
+        assert r.bottleneck["b"] == "l2"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            max_min_fair_rates({"a": ["l"]}, capacity=0.0)
+        with pytest.raises(ValueError):
+            max_min_fair_rates({"a": ["l"]}, capacities={"l": -1.0})
+
+
+@st.composite
+def flow_systems(draw):
+    n_links = draw(st.integers(1, 6))
+    n_flows = draw(st.integers(1, 8))
+    flows = {}
+    for f in range(n_flows):
+        links = draw(
+            st.lists(st.integers(0, n_links - 1), min_size=1, max_size=4,
+                     unique=True)
+        )
+        flows[f] = links
+    return flows
+
+
+class TestMaxMinProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(flows=flow_systems())
+    def test_feasibility_and_bottleneck_condition(self, flows):
+        result = max_min_fair_rates(flows, capacity=1.0)
+        # feasibility: no link oversubscribed
+        load = {}
+        for flow, links in flows.items():
+            for link in links:
+                load[link] = load.get(link, 0.0) + result.rates[flow]
+        for link, used in load.items():
+            assert used <= 1.0 + 1e-9
+        # max-min condition: every flow has a bottleneck link that is
+        # saturated and on which it has the maximal rate
+        for flow, links in flows.items():
+            b = result.bottleneck[flow]
+            assert b in links
+            assert load[b] == pytest.approx(1.0)
+            for other, other_links in flows.items():
+                if b in other_links:
+                    assert result.rates[other] <= result.rates[flow] + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(flows=flow_systems())
+    def test_rates_positive(self, flows):
+        result = max_min_fair_rates(flows)
+        assert all(rate > 0 for rate in result.rates.values())

@@ -1,0 +1,136 @@
+"""Topology model: sizes, mappings, link enumeration, validation."""
+
+import pytest
+
+from repro.topology.fattree import PAPER_CLUSTERS, FatTree, LinkId, SpineLinkId, XGFT
+
+
+class TestConstruction:
+    def test_paper_clusters_node_counts(self):
+        for radix, nodes in PAPER_CLUSTERS.items():
+            assert FatTree.from_radix(radix).num_nodes == nodes
+
+    def test_radix_must_be_even_positive(self):
+        with pytest.raises(ValueError):
+            FatTree.from_radix(7)
+        with pytest.raises(ValueError):
+            FatTree.from_radix(0)
+        with pytest.raises(ValueError):
+            FatTree.from_radix(-4)
+
+    def test_xgft_params_positive(self):
+        with pytest.raises(ValueError):
+            XGFT(0, 2, 2)
+        with pytest.raises(ValueError):
+            XGFT(2, -1, 2)
+        with pytest.raises(ValueError):
+            XGFT(2, 2, 0)
+
+    def test_for_min_nodes_picks_smallest(self):
+        # The paper: 1458 is the smallest experiment cluster larger than
+        # Thunder (1024), Atlas (1152) and Cab (1296).
+        assert FatTree.for_min_nodes(1296).num_nodes == 1458
+        assert FatTree.for_min_nodes(1024).num_nodes == 1024
+        assert FatTree.for_min_nodes(1025).num_nodes == 1458
+        with pytest.raises(ValueError):
+            FatTree.for_min_nodes(0)
+
+    def test_full_tree_is_balanced_xgft(self):
+        t = FatTree.from_radix(12)
+        assert t.m1 == t.m2 == 6
+        assert t.m3 == 12
+        assert t.radix == 12
+
+    def test_describe_mentions_key_sizes(self):
+        text = FatTree.from_radix(8).describe()
+        assert "128 nodes" in text
+        assert "8 pods" in text
+
+
+class TestDerivedSizes:
+    @pytest.fixture
+    def tree(self):
+        return FatTree.from_radix(8)  # m1=m2=4, m3=8
+
+    def test_counts(self, tree):
+        assert tree.nodes_per_leaf == 4
+        assert tree.leaves_per_pod == 4
+        assert tree.l2_per_pod == 4
+        assert tree.spines_per_group == 4
+        assert tree.num_pods == 8
+        assert tree.nodes_per_pod == 16
+        assert tree.num_leaves == 32
+        assert tree.num_nodes == 128
+        assert tree.num_l2 == 32
+        assert tree.num_spines == 16
+
+    def test_link_counts(self, tree):
+        assert tree.num_leaf_links == 32 * 4
+        assert tree.num_spine_links == 8 * 4 * 4
+        assert len(list(tree.leaf_links())) == tree.num_leaf_links
+        assert len(list(tree.spine_links())) == tree.num_spine_links
+
+    def test_link_enumeration_unique(self, tree):
+        leaf_links = list(tree.leaf_links())
+        assert len(set(leaf_links)) == len(leaf_links)
+        spine_links = list(tree.spine_links())
+        assert len(set(spine_links)) == len(spine_links)
+
+
+class TestMappings:
+    @pytest.fixture
+    def tree(self):
+        return FatTree.from_radix(8)
+
+    def test_node_to_leaf_to_pod(self, tree):
+        for node in range(tree.num_nodes):
+            leaf = tree.leaf_of_node(node)
+            assert node in tree.nodes_of_leaf(leaf)
+            pod = tree.pod_of_node(node)
+            assert pod == tree.pod_of_leaf(leaf)
+            assert node in tree.nodes_of_pod(pod)
+
+    def test_indices_within_parent(self, tree):
+        assert tree.node_index_in_leaf(0) == 0
+        assert tree.node_index_in_leaf(tree.m1 - 1) == tree.m1 - 1
+        assert tree.node_index_in_leaf(tree.m1) == 0
+        assert tree.leaf_index_in_pod(tree.m2) == 0
+        assert tree.leaf_index_in_pod(tree.m2 + 1) == 1
+
+    def test_leaves_of_pod_partition_all_leaves(self, tree):
+        seen = []
+        for pod in range(tree.num_pods):
+            seen.extend(tree.leaves_of_pod(pod))
+        assert seen == list(range(tree.num_leaves))
+
+    def test_global_switch_indices(self, tree):
+        assert tree.l2_global_index(0, 0) == 0
+        assert tree.l2_global_index(1, 0) == tree.l2_per_pod
+        assert tree.spine_global_index(1, 2) == tree.spines_per_group + 2
+
+    def test_out_of_range_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.leaf_of_node(tree.num_nodes)
+        with pytest.raises(ValueError):
+            tree.leaf_of_node(-1)
+        with pytest.raises(ValueError):
+            tree.pod_of_leaf(tree.num_leaves)
+        with pytest.raises(ValueError):
+            tree.nodes_of_pod(tree.num_pods)
+        with pytest.raises(ValueError):
+            tree.l2_global_index(0, tree.l2_per_pod)
+        with pytest.raises(ValueError):
+            tree.spine_global_index(0, tree.spines_per_group)
+
+
+class TestLinkIds:
+    def test_link_ids_are_tuples(self):
+        assert LinkId(3, 1) == (3, 1)
+        assert SpineLinkId(2, 1, 0) == (2, 1, 0)
+
+    def test_links_of_leaf_and_l2(self):
+        tree = FatTree.from_radix(8)
+        assert list(tree.leaf_links_of_leaf(5)) == [LinkId(5, i) for i in range(4)]
+        assert list(tree.spine_links_of_l2(2, 3)) == [
+            SpineLinkId(2, 3, j) for j in range(4)
+        ]

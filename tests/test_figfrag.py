@@ -1,0 +1,27 @@
+"""Fragmentation time-series experiment."""
+
+from repro.experiments import figfrag
+
+
+def test_timeseries_tiny():
+    rows = figfrag.fragmentation_timeseries(
+        schemes=("jigsaw", "laas"),
+        probes=(8, 24),
+        sample_every=10,
+        scale=0.004,
+    )
+    assert set(rows) == {"jigsaw", "laas"}
+    for row in rows.values():
+        assert 0 <= row["free %"] <= 100
+        assert 0 <= row["fit 8n %"] <= 100
+    assert rows["jigsaw"]["padding %"] == 0.0
+    assert rows["laas"]["padding %"] >= 0.0
+
+
+def test_render():
+    rows = {"jigsaw": {"free %": 10.0, "padding %": 0.0,
+                       "full-free leaves": 5.0, "shard %": 3.0,
+                       "fit 8n %": 90.0}}
+    text = figfrag.render(rows)
+    assert "jigsaw" in text
+    assert "padding %" in text

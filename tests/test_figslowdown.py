@@ -1,0 +1,20 @@
+"""Slowdown-comparison experiment wiring."""
+
+from repro.experiments import figslowdown
+
+
+def test_comparison_tiny():
+    rows = figslowdown.slowdown_comparison(
+        radix=6, occupancy=0.7, patterns=("shift",), seeds=(0,)
+    )
+    assert set(rows) == {"baseline/shift", "jigsaw/shift"}
+    assert rows["jigsaw/shift"]["max slowdown"] == 1.0
+    assert rows["baseline/shift"]["mean slowdown"] >= 1.0
+
+
+def test_render():
+    rows = figslowdown.slowdown_comparison(
+        radix=6, occupancy=0.5, patterns=("shift",), seeds=(0,)
+    )
+    text = figslowdown.render(rows)
+    assert "mean slowdown" in text

@@ -1,0 +1,152 @@
+"""Cross-module integration: full simulations with invariants audited.
+
+These tests run real (small) workloads through the whole stack —
+trace -> simulator -> allocator -> topology state — and check the
+paper's guarantees at every step: isolation, formal-condition
+compliance, and rearrangeable-non-blocking routing of live partitions.
+"""
+
+import random
+
+import pytest
+
+from repro.core.conditions import check_allocation
+from repro.core.registry import make_allocator
+from repro.routing.partition import PartitionRouter
+from repro.routing.dmodk import route_stays_inside
+from repro.routing.rearrange import route_permutation, verify_one_flow_per_link
+from repro.sched.simulator import Simulator
+from repro.sched.speedup import apply_scenario
+from repro.topology.fattree import FatTree
+from repro.traces import synthetic_trace, thunder_like
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return FatTree.from_radix(8)
+
+
+class AuditingSimulator(Simulator):
+    """Simulator that audits state and validates every allocation."""
+
+    def __init__(self, allocator, exact_nodes=True, **kwargs):
+        super().__init__(allocator, **kwargs)
+        self.exact_nodes = exact_nodes
+        self.validated = 0
+        orig_allocate = allocator.allocate
+
+        def checked_allocate(job_id, size, bw_need=None):
+            alloc = orig_allocate(job_id, size, bw_need=bw_need)
+            if alloc is not None and allocator.name not in ("baseline", "ta"):
+                violations = check_allocation(
+                    allocator.tree, alloc, exact_nodes=self.exact_nodes
+                )
+                assert violations == [], (allocator.name, size, violations)
+                self.validated += 1
+            allocator.state.audit()
+            return alloc
+
+        allocator.allocate = checked_allocate
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "jigsaw", "laas", "ta", "lc+s"])
+def test_full_simulation_with_invariants(tree, scheme):
+    trace = synthetic_trace(8, num_jobs=200, seed=4, max_size=tree.num_nodes)
+    allocator = make_allocator(scheme, tree)
+    sim = AuditingSimulator(allocator, exact_nodes=(scheme != "laas"))
+    result = sim.run(trace)
+    assert len(result.jobs) == 200
+    assert not result.unscheduled
+    assert allocator.state.is_idle()  # everything released
+    if scheme not in ("baseline", "ta"):
+        assert sim.validated > 0
+
+
+def test_isolation_holds_throughout_simulation(tree):
+    """No two live jobs ever share a node or a link under Jigsaw."""
+    trace = synthetic_trace(8, num_jobs=150, seed=9, max_size=tree.num_nodes)
+    allocator = make_allocator("jigsaw", tree)
+    seen_overlap = []
+    orig = allocator.allocate
+
+    def watched(job_id, size, bw_need=None):
+        alloc = orig(job_id, size, bw_need=bw_need)
+        if alloc is not None:
+            for other_id, other in allocator.allocations.items():
+                if other_id == job_id:
+                    continue
+                if set(alloc.nodes) & set(other.nodes):
+                    seen_overlap.append(("nodes", job_id, other_id))
+                if set(alloc.leaf_links) & set(other.leaf_links):
+                    seen_overlap.append(("leaf links", job_id, other_id))
+                if set(alloc.spine_links) & set(other.spine_links):
+                    seen_overlap.append(("spine links", job_id, other_id))
+        return alloc
+
+    allocator.allocate = watched
+    Simulator(allocator).run(trace)
+    assert seen_overlap == []
+
+
+def test_live_partitions_route_all_traffic_internally(tree):
+    """Mid-simulation, every live Jigsaw partition confines its traffic
+    and carries random permutations one-flow-per-link."""
+    rng = random.Random(21)
+    allocator = make_allocator("jigsaw", tree)
+    trace = synthetic_trace(8, num_jobs=120, seed=2, max_size=tree.num_nodes)
+    checked = [0]
+    orig = allocator.allocate
+
+    def watched(job_id, size, bw_need=None):
+        alloc = orig(job_id, size, bw_need=bw_need)
+        if alloc is not None and len(alloc.nodes) > 1 and checked[0] < 25:
+            router = PartitionRouter(tree, alloc)
+            nodes = sorted(alloc.nodes)
+            for src in nodes[:6]:
+                for dst in nodes[:6]:
+                    if src != dst:
+                        assert route_stays_inside(router.route(src, dst), alloc)
+            shuffled = list(nodes)
+            rng.shuffle(shuffled)
+            perm = dict(zip(nodes, shuffled))
+            assignments = route_permutation(tree, alloc, perm)
+            assert verify_one_flow_per_link(tree, alloc, assignments) == []
+            checked[0] += 1
+        return alloc
+
+    allocator.allocate = watched
+    Simulator(allocator).run(trace)
+    assert checked[0] >= 20
+
+
+def test_speedups_shorten_isolated_runs_only(tree):
+    trace = synthetic_trace(8, num_jobs=150, seed=3, max_size=tree.num_nodes)
+    apply_scenario(trace.jobs, "20%", seed=0)
+    base = Simulator(make_allocator("baseline", tree)).run(trace)
+    jig = Simulator(make_allocator("jigsaw", tree)).run(trace)
+    base_rt = {r.job_id: r.end - r.start for r in base.jobs}
+    jig_rt = {r.job_id: r.end - r.start for r in jig.jobs}
+    for job in trace.jobs:
+        assert base_rt[job.id] == pytest.approx(job.runtime)
+        assert jig_rt[job.id] == pytest.approx(job.runtime / (1 + job.speedup))
+
+
+def test_schemes_rank_as_paper_on_small_synthetic(tree):
+    """Even at small scale, Baseline tops utilization and Jigsaw beats
+    LaaS and TA (Figure 6's core claim)."""
+    trace = synthetic_trace(8, num_jobs=500, seed=1, max_size=tree.num_nodes)
+    utils = {}
+    for scheme in ("baseline", "jigsaw", "laas", "ta"):
+        result = Simulator(make_allocator(scheme, tree)).run(trace)
+        utils[scheme] = result.steady_state_utilization
+    assert utils["baseline"] >= utils["jigsaw"]
+    assert utils["jigsaw"] >= utils["laas"] - 0.5
+    assert utils["jigsaw"] >= utils["ta"] - 0.5
+
+
+def test_thunder_like_on_1458(tree):
+    big = FatTree.from_radix(18)
+    trace = thunder_like(num_jobs=300, seed=0)
+    result = Simulator(make_allocator("jigsaw", big)).run(trace)
+    assert len(result.jobs) == 300
+    assert result.steady_state_utilization > 60.0

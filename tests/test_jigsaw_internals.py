@@ -1,0 +1,152 @@
+"""Surgical tests of Jigsaw's search internals on crafted states."""
+
+import pytest
+
+from repro.core.conditions import check_allocation
+from repro.core.jigsaw import JigsawAllocator
+from repro.core.shapes import ThreeLevelShape, TwoLevelShape
+from repro.topology.fattree import FatTree, LinkId
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)  # m1=m2=4, m3=8
+
+
+@pytest.fixture
+def alloc(tree):
+    return JigsawAllocator(tree)
+
+
+def occupy(allocator, leaf, count, job_id, with_links=True):
+    """Claim ``count`` nodes (and matching uplinks) on a leaf."""
+    tree = allocator.tree
+    nodes = list(tree.nodes_of_leaf(leaf))[:count]
+    links = [LinkId(leaf, i) for i in range(count)] if with_links else []
+    allocator.state.claim(job_id, nodes, links)
+
+
+class TestTwoLevelSearch:
+    def test_common_l2_intersection_constraint(self, tree, alloc):
+        """Two leaves whose free uplink sets barely overlap can only host
+        a job as large as the overlap."""
+        # leaf 0: uplinks {0,1} taken -> free {2,3}; leaf 1: {2,3} taken
+        occupy(alloc, 0, 2, 100)              # takes uplinks 0,1
+        alloc.state.claim(
+            101, list(tree.nodes_of_leaf(1))[:2],
+            [LinkId(1, 2), LinkId(1, 3)],
+        )
+        # force the job onto leaves 0 and 1 by filling everything else
+        for leaf in range(2, tree.num_leaves):
+            occupy(alloc, leaf, tree.m1, 200 + leaf, with_links=False)
+        # leaves 0,1 have 2 free nodes each, but no common free L2 index:
+        # a 2x2 job cannot be placed ...
+        assert alloc.allocate(1, 4) is None
+        # ... though 2 nodes fit on a single leaf (no links needed)
+        result = alloc.allocate(2, 2)
+        assert result is not None
+        assert len(result.leaf_node_counts(tree)) == 1
+
+    def test_remainder_leaf_prefers_best_fit(self, tree, alloc):
+        occupy(alloc, 0, 3, 100)  # leaf 0 has exactly 1 free node
+        result = alloc.allocate(1, tree.m1 + 1)  # one full leaf + 1
+        counts = result.leaf_node_counts(tree)
+        assert counts.get(0) == 1  # the 1-free leaf serves as remainder
+
+    def test_scored_strategy_prefers_exact_fit(self, tree, alloc):
+        occupy(alloc, 0, 1, 100)  # leaf 0: 3 free
+        occupy(alloc, 4, 2, 101)  # leaf 4 (pod 1): 2 free
+        result = alloc.allocate(1, 2)
+        # exact fit on leaf 4 beats breaking leaf 0 (residue 1) or a
+        # fully-free leaf (residue 2, breaks a full leaf)
+        assert set(result.nodes) == set(list(tree.nodes_of_leaf(4))[2:])
+
+
+class TestThreeLevelSearch:
+    def _leave_full_leaves(self, alloc, per_pod):
+        """Occupy everything except ``per_pod[p]`` fully-free leaves."""
+        tree = alloc.tree
+        jid = 500
+        for pod in range(tree.num_pods):
+            keep = per_pod[pod] if pod < len(per_pod) else 0
+            for k, leaf in enumerate(tree.leaves_of_pod(pod)):
+                if k >= keep:
+                    jid += 1
+                    occupy(alloc, leaf, tree.m1, jid, with_links=False)
+
+    def test_exact_multi_pod_shape(self, tree, alloc):
+        # 2 full leaves in pods 0 and 1, nothing else
+        self._leave_full_leaves(alloc, [2, 2])
+        result = alloc.allocate(1, 16)  # = 2 pods x 2 leaves x 4 nodes
+        assert result is not None
+        shape = result.shape
+        assert isinstance(shape, ThreeLevelShape)
+        assert shape.T == 2 and shape.LT == 2 and shape.nrT == 0
+        assert check_allocation(tree, result) == []
+
+    def test_remainder_pod_with_partial_leaf(self, tree, alloc):
+        # pods 0,1: 2 full leaves; pod 2: 1 full leaf; and a 2-free leaf
+        self._leave_full_leaves(alloc, [2, 2, 2])
+        occupy(alloc, tree.first_leaf_of_pod(2) + 1, 2, 900, with_links=True)
+        # 2*8 (pods 0,1) + 4 + 2 (remainder pod 2: full leaf + 2-node rem)
+        result = alloc.allocate(1, 22)
+        assert result is not None
+        assert check_allocation(tree, result) == []
+        shape = result.shape
+        assert shape.nrL == 2 and shape.LrT == 1
+
+    def test_spine_contention_blocks(self, tree, alloc):
+        """A pod whose spine links are consumed cannot join a
+        three-level allocation even with free leaves."""
+        from repro.topology.fattree import SpineLinkId
+
+        self._leave_full_leaves(alloc, [1, 1])
+        # consume every spine link of pod 1
+        spine_links = [
+            SpineLinkId(1, i, j)
+            for i in range(tree.l2_per_pod)
+            for j in range(tree.spines_per_group)
+        ]
+        alloc.state.claim(901, [], spine_links=spine_links)
+        assert alloc.allocate(1, 8) is None  # needs 2 pods' spines
+
+    def test_lone_remainder_leaf_pod(self, tree, alloc):
+        """T=1 full pod + a remainder pod holding only a partial leaf."""
+        self._leave_full_leaves(alloc, [4, 1])
+        # 4 leaves of pod 0 (16) + 2 nodes on a pod-1 leaf = 18
+        # two-level is impossible: pod 0 alone holds only 16
+        result = alloc.allocate(1, 18)
+        assert result is not None
+        shape = result.shape
+        assert isinstance(shape, ThreeLevelShape)
+        assert check_allocation(tree, result) == []
+
+    def test_remainder_leaf_spared_when_needed_as_full(self, tree, alloc):
+        """If the remainder pod has exactly LrT fully-free leaves, the
+        remainder leaf must come from partial capacity, not consume one."""
+        self._leave_full_leaves(alloc, [2, 2, 1])
+        # pod 2 has 1 fully-free leaf; job wants 2*8 + (4 + 2):
+        # LrT=1 needs that full leaf, nrL=2 must use a partial leaf -> none
+        assert alloc.allocate(1, 22) is None
+        # give pod 2 a partial leaf with 2 free nodes: now it works
+        leaf = tree.first_leaf_of_pod(2) + 1
+        nodes = list(tree.nodes_of_leaf(leaf))[:2]
+        alloc.state.release(alloc.state.node_owner[nodes[0]])
+        result = alloc.allocate(1, 22)
+        assert result is not None
+
+
+class TestBudgetAndStats:
+    def test_budget_restored_each_attempt(self, tree, alloc):
+        alloc.step_budget = 10_000
+        alloc.allocate(1, 20)
+        first_left = alloc._steps_left
+        alloc.allocate(2, 20)
+        assert alloc._steps_left <= alloc.step_budget
+        assert first_left <= alloc.step_budget
+
+    def test_failure_counted(self, tree, alloc):
+        alloc.allocate(1, tree.num_nodes)
+        alloc.allocate(2, 1)
+        assert alloc.stats.failures == 1
+        assert alloc.stats.successes == 1

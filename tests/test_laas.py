@@ -1,0 +1,100 @@
+"""LaaS: two-level fidelity, whole-leaf three-level rounding."""
+
+import pytest
+
+from repro.core.conditions import check_allocation
+from repro.core.laas import LaaSAllocator
+from repro.core.shapes import ThreeLevelShape, TwoLevelShape
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)  # m1=4
+
+
+@pytest.fixture
+def alloc(tree):
+    return LaaSAllocator(tree)
+
+
+class TestTwoLevelSameAsJigsaw:
+    def test_sub_leaf_job_not_rounded(self, tree, alloc):
+        a = alloc.allocate(1, 3)
+        assert len(a.nodes) == 3
+        assert a.padding == 0
+
+    def test_in_pod_job_exact(self, tree, alloc):
+        a = alloc.allocate(1, 11)
+        assert len(a.nodes) == 11
+        assert isinstance(a.shape, TwoLevelShape)
+        assert check_allocation(tree, a) == []
+
+
+class TestThreeLevelRounding:
+    def test_figure2_left_rounding(self, tree, alloc):
+        """Figure 2 (left): an 11-node job forced out of a single pod is
+        rounded to whole leaves — one node is wasted."""
+        # fill every pod so no single pod can host 11 nodes
+        jid = 100
+        for pod in range(tree.num_pods):
+            for leaf in list(tree.leaves_of_pod(pod))[:2]:
+                jid += 1
+                alloc.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+        a = alloc.allocate(1, 11)
+        assert a is not None
+        assert isinstance(a.shape, ThreeLevelShape)
+        assert len(a.nodes) == 12  # rounded up to 3 whole leaves
+        assert a.padding == 1
+        assert check_allocation(tree, a, exact_nodes=False) == []
+        # the padding node really is unusable by others
+        assert alloc.state.node_owner[list(a.nodes)[-1]] == 1
+
+    def test_three_level_uses_whole_leaves_only(self, tree, alloc):
+        jid = 100
+        for pod in range(tree.num_pods):
+            for leaf in list(tree.leaves_of_pod(pod))[:2]:
+                jid += 1
+                alloc.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+        a = alloc.allocate(1, 13)
+        counts = a.leaf_node_counts(tree)
+        assert all(c == tree.m1 for c in counts.values())
+
+    def test_effective_size(self, tree, alloc):
+        # jobs that can never fit one pod are rounded in the estimate
+        assert alloc.effective_size(tree.nodes_per_pod + 1) == 5 * tree.m1
+        # smaller jobs are optimistically exact
+        assert alloc.effective_size(3) == 3
+        assert alloc.effective_size(tree.nodes_per_pod) == tree.nodes_per_pod
+
+    def test_release_returns_padding_too(self, tree, alloc):
+        jid = 100
+        for pod in range(tree.num_pods):
+            for leaf in list(tree.leaves_of_pod(pod))[:2]:
+                jid += 1
+                alloc.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+        before = alloc.free_nodes
+        alloc.allocate(1, 11)
+        assert alloc.free_nodes == before - 12
+        alloc.release(1)
+        assert alloc.free_nodes == before
+
+    def test_busy_requested_excludes_padding(self, tree, alloc):
+        jid = 100
+        for pod in range(tree.num_pods):
+            for leaf in list(tree.leaves_of_pod(pod))[:2]:
+                jid += 1
+                alloc.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+        alloc.allocate(1, 11)
+        assert alloc.allocations[1].size == 11
+        assert alloc.busy_requested_nodes == 11
+
+
+class TestConditionCompliance:
+    @pytest.mark.parametrize("size", [1, 4, 5, 11, 16, 17, 33, 64, 65, 100])
+    def test_empty_machine_allocations_legal(self, tree, size):
+        a = LaaSAllocator(tree)
+        result = a.allocate(1, size)
+        assert result is not None
+        assert check_allocation(tree, result, exact_nodes=False) == []
+        assert len(result.nodes) >= size

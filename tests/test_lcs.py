@@ -1,0 +1,112 @@
+"""LC / LC+S: link sharing, bandwidth caps, search budget."""
+
+import pytest
+
+from repro.core.conditions import check_allocation
+from repro.core.lcs import LeastConstrainedAllocator
+from repro.core.shapes import ThreeLevelShape
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+class TestLinkSharing:
+    def test_shared_links_overlap(self, tree):
+        """Two jobs with modest bandwidth needs may use the same links —
+        that is the whole point of LC+S."""
+        a = LeastConstrainedAllocator(tree, share_links=True)
+        a1 = a.allocate(1, 8, bw_need=1.0)
+        a2 = a.allocate(2, 8, bw_need=1.0)
+        assert a1 and a2
+        # exclusive-node invariant still holds
+        assert not set(a1.nodes) & set(a2.nodes)
+
+    def test_bandwidth_cap_respected(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=True)
+        # Saturate leaf 0/1's common links with 2x 2.0 GB/s jobs, then a
+        # third 2.0 job must avoid or fail those links (cap is 4.0).
+        for jid in range(1, 20):
+            result = a.allocate(jid, 8, bw_need=2.0)
+            if result is None:
+                break
+        # every leaf link's accumulated bandwidth stays within the cap
+        assert (a.links.leaf_bw <= a.links.capacity + 1e-9).all()
+        assert (a.links.spine_bw <= a.links.capacity + 1e-9).all()
+
+    def test_default_bw_used_when_job_silent(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=True, default_bw=2.0)
+        a.allocate(1, 8)  # no bw_need given
+        import numpy as np
+
+        used = a.links.leaf_bw[a.links.leaf_bw > 0]
+        assert len(used) and np.allclose(used, 2.0)
+
+    def test_release_returns_bandwidth(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=True)
+        a.allocate(1, 12, bw_need=1.5)
+        a.release(1)
+        assert (a.links.leaf_bw == 0).all()
+        assert (a.links.spine_bw == 0).all()
+        assert a.state.is_idle()
+
+
+class TestExclusiveLC:
+    def test_lc_is_isolating(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=False)
+        assert a.isolating
+        assert a.name == "lc"
+        a1 = a.allocate(1, 8)
+        a2 = a.allocate(2, 8)
+        assert not set(a1.leaf_links) & set(a2.leaf_links)
+
+    def test_lcs_is_not_isolating_but_low_interference(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=True)
+        assert not a.isolating
+        assert a.low_interference
+
+
+class TestGeneralShapes:
+    def test_sparse_cross_pod_placement(self, tree):
+        """LC can place a mid-size job across pods with partial leaves —
+        the placement Jigsaw's full-leaf restriction forgoes."""
+        a = LeastConstrainedAllocator(tree, share_links=True)
+        # leave exactly 2 free nodes on the first two leaves of 3 pods
+        jid = 100
+        for pod in range(tree.num_pods):
+            for k, leaf in enumerate(tree.leaves_of_pod(pod)):
+                keep = 2 if (k < 2 and pod < 3) else 0
+                nodes = list(tree.nodes_of_leaf(leaf))[keep:]
+                if nodes:
+                    jid += 1
+                    a.state.claim(jid, nodes)
+        result = a.allocate(1, 12)
+        assert result is not None
+        assert isinstance(result.shape, ThreeLevelShape)
+        assert result.shape.nL < tree.m1  # not a full-leaf shape
+        assert check_allocation(tree, result) == []
+
+    def test_allocations_satisfy_formal_conditions(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=True)
+        for jid, size in enumerate([3, 7, 12, 20, 33, 50], start=1):
+            result = a.allocate(jid, size)
+            assert result is not None, size
+            assert check_allocation(tree, result) == [], size
+
+
+class TestBudget:
+    def test_budget_exhaustion_acts_like_timeout(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=True, step_budget=3)
+        assert a.allocate(1, 20) is None
+        assert a.state.is_idle()
+
+    def test_generous_budget_succeeds(self, tree):
+        a = LeastConstrainedAllocator(tree, share_links=True, step_budget=100_000)
+        assert a.allocate(1, 20) is not None
+
+    def test_solution_cap_bounds_memory(self, tree):
+        a = LeastConstrainedAllocator(tree, max_solutions_per_pod=2)
+        sols = a._find_all_in_pod(0, LT=2, nL=2, nrL=0)
+        assert len(sols) <= 2

@@ -1,0 +1,126 @@
+"""Communication patterns and the slowdown model."""
+
+import pytest
+
+from repro.core.registry import make_allocator
+from repro.netsim import PATTERNS, pattern_flows, slowdown_report
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+@pytest.fixture
+def alloc(tree):
+    return make_allocator("jigsaw", tree).allocate(1, 12)
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_flows_stay_within_job(self, alloc, name):
+        flows = pattern_flows(alloc, name, seed=1)
+        nodes = set(alloc.nodes)
+        for s, d in flows:
+            assert s in nodes and d in nodes and s != d
+
+    def test_permutation_is_partial_permutation(self, alloc):
+        flows = pattern_flows(alloc, "permutation", seed=1)
+        srcs = [s for s, _ in flows]
+        dsts = [d for _, d in flows]
+        assert len(set(srcs)) == len(srcs)
+        assert len(set(dsts)) == len(dsts)
+
+    def test_shift_covers_every_node(self, alloc):
+        flows = pattern_flows(alloc, "shift", seed=1)
+        assert len(flows) == len(alloc.nodes)
+        assert {s for s, _ in flows} == set(alloc.nodes)
+
+    def test_neighbor_is_bidirectional_ring(self, alloc):
+        flows = set(pattern_flows(alloc, "neighbor", seed=1))
+        for s, d in list(flows):
+            assert (d, s) in flows
+
+    def test_alltoall_sample_bounded_degree(self, alloc):
+        flows = pattern_flows(alloc, "alltoall_sample", seed=1)
+        from collections import Counter
+
+        out = Counter(s for s, _ in flows)
+        assert max(out.values()) <= 4
+
+    def test_deterministic(self, alloc):
+        assert pattern_flows(alloc, "permutation", seed=5) == pattern_flows(
+            alloc, "permutation", seed=5
+        )
+
+    def test_unknown_pattern(self, alloc):
+        with pytest.raises(ValueError):
+            pattern_flows(alloc, "butterfly")
+
+    def test_single_node_job_has_no_flows(self, tree):
+        alloc = make_allocator("jigsaw", tree).allocate(1, 1)
+        for name in PATTERNS:
+            assert pattern_flows(alloc, name, seed=0) == []
+
+
+class TestSlowdown:
+    def _pack(self, tree, scheme, sizes):
+        allocator = make_allocator(scheme, tree)
+        allocations = []
+        for jid, size in enumerate(sizes, start=1):
+            alloc = allocator.allocate(jid, size)
+            if alloc is not None:
+                allocations.append(alloc)
+        return allocations
+
+    def test_jigsaw_placements_have_zero_interjob_slowdown(self, tree):
+        allocations = self._pack(tree, "jigsaw", [10, 10, 14, 10, 16, 10])
+        for pattern in ("permutation", "shift", "alltoall_sample"):
+            report = slowdown_report(
+                tree, allocations, patterns=pattern, seed=3,
+                use_partition_routing=True,
+            )
+            assert report.interference_free, pattern
+            assert report.max_slowdown == pytest.approx(1.0)
+
+    def test_baseline_placements_slow_down_under_contention(self, tree):
+        allocations = self._pack(
+            tree, "baseline", [10] * 10 + [14, 14]
+        )
+        worst = 1.0
+        for seed in range(4):
+            report = slowdown_report(
+                tree, allocations, patterns="alltoall_sample", seed=seed
+            )
+            worst = max(worst, report.max_slowdown)
+        assert worst > 1.0
+
+    def test_single_job_never_slows_itself_in_ratio(self, tree):
+        allocations = self._pack(tree, "jigsaw", [20])
+        report = slowdown_report(tree, allocations, patterns="alltoall_sample")
+        assert report.jobs[1].slowdown == pytest.approx(1.0)
+
+    def test_isolation_speedup_definition(self, tree):
+        from repro.netsim.slowdown import JobSlowdown
+
+        j = JobSlowdown(1, "shift", 8, isolated_time=1.0, contended_time=1.2)
+        assert j.slowdown == pytest.approx(1.2)
+        assert j.isolation_speedup == pytest.approx(0.2)
+
+    def test_per_job_patterns(self, tree):
+        allocations = self._pack(tree, "jigsaw", [10, 12])
+        ids = [a.job_id for a in allocations]
+        report = slowdown_report(
+            tree, allocations,
+            patterns={ids[0]: "shift", ids[1]: "neighbor"},
+            use_partition_routing=True,
+        )
+        assert report.jobs[ids[0]].pattern == "shift"
+        assert report.jobs[ids[1]].pattern == "neighbor"
+
+    def test_summary(self, tree):
+        allocations = self._pack(tree, "jigsaw", [10, 12])
+        report = slowdown_report(tree, allocations,
+                                 use_partition_routing=True)
+        assert "mean slowdown" in report.summary()

@@ -1,0 +1,117 @@
+"""Jigsaw partition routing: confined, connected, deterministic."""
+
+import random
+
+import pytest
+
+from repro.core.jigsaw import JigsawAllocator
+from repro.core.laas import LaaSAllocator
+from repro.routing.dmodk import route_stays_inside
+from repro.routing.partition import PartitionRouter
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+def all_pairs_stay_inside(tree, alloc):
+    router = PartitionRouter(tree, alloc)
+    nodes = sorted(alloc.nodes)
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            route = router.route(src, dst)
+            assert route_stays_inside(route, alloc), (src, dst, alloc.shape)
+
+
+class TestConfinement:
+    @pytest.mark.parametrize("size", [2, 5, 8, 11, 16, 20, 33, 48])
+    def test_every_pair_routes_inside_allocation(self, tree, size):
+        allocator = JigsawAllocator(tree)
+        alloc = allocator.allocate(1, size)
+        all_pairs_stay_inside(tree, alloc)
+
+    def test_fragmented_allocations_also_confined(self, tree):
+        random.seed(13)
+        allocator = JigsawAllocator(tree)
+        live = []
+        jid = 0
+        checked = 0
+        for _ in range(400):
+            if live and (random.random() < 0.4 or len(live) > 20):
+                allocator.release(live.pop(random.randrange(len(live))))
+            else:
+                jid += 1
+                alloc = allocator.allocate(jid, random.choice([2, 3, 6, 9, 14, 20, 34]))
+                if alloc:
+                    live.append(jid)
+                    if checked < 40 and len(alloc.nodes) > 1:
+                        all_pairs_stay_inside(tree, alloc)
+                        checked += 1
+        assert checked >= 30
+
+    def test_laas_allocations_confined(self, tree):
+        allocator = LaaSAllocator(tree)
+        # force three-level by filling two leaves per pod
+        jid = 100
+        for pod in range(tree.num_pods):
+            for leaf in list(tree.leaves_of_pod(pod))[:2]:
+                jid += 1
+                allocator.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+        alloc = allocator.allocate(1, 11)
+        assert alloc.spine_links
+        all_pairs_stay_inside(tree, alloc)
+
+
+class TestWraparound:
+    def test_remainder_leaf_traffic_uses_sr_only(self, tree):
+        """The wraparound case: routes to/from the remainder leaf must
+        use its (smaller) allocated uplink set Sr."""
+        allocator = JigsawAllocator(tree)
+        alloc = allocator.allocate(1, 9)  # 2 full leaves x 4 + remainder 1
+        rem_leaves = [
+            leaf for leaf, cnt in alloc.leaf_node_counts(tree).items() if cnt == 1
+        ]
+        assert rem_leaves
+        rem_leaf = rem_leaves[0]
+        sr = {l.l2_index for l in alloc.leaf_links if l.leaf == rem_leaf}
+        router = PartitionRouter(tree, alloc)
+        rem_node = next(n for n in alloc.nodes if n // tree.m1 == rem_leaf)
+        for dst in alloc.nodes:
+            if dst == rem_node or dst // tree.m1 == rem_leaf:
+                continue
+            route = router.route(rem_node, dst)
+            assert route.up_leaf.l2_index in sr
+            back = router.route(dst, rem_node)
+            assert back.down_leaf.l2_index in sr
+
+
+class TestErrors:
+    def test_foreign_nodes_rejected(self, tree):
+        allocator = JigsawAllocator(tree)
+        alloc = allocator.allocate(1, 8)
+        router = PartitionRouter(tree, alloc)
+        outside = max(alloc.nodes) + 1
+        with pytest.raises(ValueError):
+            router.route(outside, min(alloc.nodes))
+
+    def test_self_route_rejected(self, tree):
+        allocator = JigsawAllocator(tree)
+        alloc = allocator.allocate(1, 8)
+        router = PartitionRouter(tree, alloc)
+        n = min(alloc.nodes)
+        with pytest.raises(ValueError):
+            router.route(n, n)
+
+    def test_deterministic(self, tree):
+        allocator = JigsawAllocator(tree)
+        alloc = allocator.allocate(1, 20)
+        r1 = PartitionRouter(tree, alloc)
+        r2 = PartitionRouter(tree, alloc)
+        nodes = sorted(alloc.nodes)
+        for src, dst in zip(nodes, reversed(nodes)):
+            if src != dst:
+                assert r1.route(src, dst) == r2.route(src, dst)

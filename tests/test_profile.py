@@ -1,0 +1,84 @@
+"""FreeProfile: the planning substrate for conservative backfilling."""
+
+import pytest
+
+from repro.sched.profile import FOREVER, FreeProfile
+
+
+class TestBasics:
+    def test_flat_profile(self):
+        p = FreeProfile(now=0.0, free_now=10)
+        assert p.free_at(0.0) == 10
+        assert p.free_at(100.0) == 10
+        assert p.earliest_fit(10, 5.0) == 0.0
+        assert p.earliest_fit(11, 5.0) == FOREVER
+
+    def test_release_increases_future_free(self):
+        p = FreeProfile(0.0, 4)
+        p.release_at(10.0, 6)
+        assert p.free_at(9.9) == 4
+        assert p.free_at(10.0) == 10
+        assert p.earliest_fit(10, 1.0) == 10.0
+
+    def test_reserve_consumes_interval(self):
+        p = FreeProfile(0.0, 10)
+        p.reserve(5.0, 15.0, 8)
+        assert p.free_at(4.9) == 10
+        assert p.free_at(5.0) == 2
+        assert p.free_at(15.0) == 10
+        # a short narrow job fits before the reservation begins ...
+        assert p.earliest_fit(3, 1.0) == 0.0
+        assert p.earliest_fit(10, 1.0) == 0.0  # [0,1) is clear of it too
+        # ... but anything wide whose run overlaps [5,15) must wait
+        assert p.earliest_fit(10, 6.0) == 15.0
+
+    def test_fit_must_hold_for_whole_duration(self):
+        p = FreeProfile(0.0, 10)
+        p.reserve(5.0, 15.0, 8)
+        # 3 nodes for 10s starting at 0 would overlap [5,15) with only 2
+        assert p.earliest_fit(3, 10.0) == 15.0
+        assert p.earliest_fit(2, 10.0) == 0.0
+
+    def test_past_release_adjusts_base(self):
+        p = FreeProfile(10.0, 4)
+        p.release_at(5.0, 3)  # already happened
+        assert p.free_at(10.0) == 7
+
+    def test_infinite_reservation(self):
+        p = FreeProfile(0.0, 10)
+        p.reserve(2.0, FOREVER, 10)
+        assert p.earliest_fit(1, 1.0) == 0.0
+        assert p.earliest_fit(10, 3.0) == FOREVER
+
+    def test_min_free(self):
+        p = FreeProfile(0.0, 10)
+        p.reserve(5.0, 6.0, 4)
+        assert p.min_free(0.0, 10.0) == 6
+        assert p.min_free(6.0, 10.0) == 10
+
+    def test_validation(self):
+        p = FreeProfile(0.0, 5)
+        with pytest.raises(ValueError):
+            p.release_at(1.0, -1)
+        with pytest.raises(ValueError):
+            p.reserve(2.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            p.reserve(1.0, 1.0, 3)
+
+
+class TestComposition:
+    def test_stacked_reservations(self):
+        p = FreeProfile(0.0, 10)
+        p.reserve(0.0, 10.0, 4)
+        p.reserve(0.0, 5.0, 4)
+        assert p.free_at(0.0) == 2
+        assert p.free_at(5.0) == 6
+        assert p.earliest_fit(6, 2.0) == 5.0
+        assert p.earliest_fit(8, 2.0) == 10.0
+
+    def test_release_then_reserve(self):
+        p = FreeProfile(0.0, 0)
+        p.release_at(10.0, 8)
+        p.reserve(10.0, 20.0, 8)
+        assert p.free_at(10.0) == 0
+        assert p.earliest_fit(8, 1.0) == 20.0

@@ -1,0 +1,95 @@
+"""Priority queue orders (extension): SJF and size-based policies."""
+
+import pytest
+
+from repro.core.baseline import BaselineAllocator
+from repro.core.jigsaw import JigsawAllocator
+from repro.sched.job import Job
+from repro.sched.simulator import Simulator
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+def run(tree, jobs, order, **kw):
+    return Simulator(BaselineAllocator(tree), queue_order=order, **kw).run(jobs)
+
+
+def by_id(result):
+    return {r.job_id: r for r in result.jobs}
+
+
+class TestOrders:
+    def test_sjf_runs_short_job_first(self, tree):
+        jobs = [
+            Job(id=1, size=128, runtime=10.0),  # occupies the machine
+            Job(id=2, size=128, runtime=100.0),
+            Job(id=3, size=128, runtime=5.0),
+        ]
+        fifo = run(tree, jobs, "fifo")
+        assert by_id(fifo)[2].start < by_id(fifo)[3].start
+        sjf = run(tree, jobs, "sjf")
+        assert by_id(sjf)[3].start < by_id(sjf)[2].start
+
+    def test_smallest_first(self, tree):
+        jobs = [
+            Job(id=1, size=128, runtime=10.0),
+            Job(id=2, size=100, runtime=10.0),
+            Job(id=3, size=10, runtime=10.0),
+        ]
+        result = run(tree, jobs, "smallest")
+        assert by_id(result)[3].start <= by_id(result)[2].start
+
+    def test_largest_first(self, tree):
+        jobs = [
+            Job(id=1, size=128, runtime=10.0),
+            Job(id=2, size=10, runtime=10.0),
+            Job(id=3, size=100, runtime=10.0),
+        ]
+        result = run(tree, jobs, "largest")
+        recs = by_id(result)
+        assert recs[3].start <= recs[2].start
+
+    def test_ties_fall_back_to_arrival_order(self, tree):
+        jobs = [Job(id=i, size=128, runtime=10.0) for i in (4, 9, 2)]
+        result = run(tree, jobs, "smallest")
+        recs = by_id(result)
+        assert recs[4].start < recs[9].start < recs[2].start
+
+    def test_backfilling_still_works_under_sjf(self, tree):
+        jobs = [
+            Job(id=1, size=100, runtime=50.0),
+            Job(id=2, size=100, runtime=60.0),   # head after 1 starts
+            Job(id=3, size=20, runtime=40.0),    # backfills beside job 1
+        ]
+        result = run(tree, jobs, "sjf")
+        assert by_id(result)[3].start == 0.0
+
+    def test_all_jobs_complete_with_constrained_allocator(self, tree):
+        jobs = [
+            Job(id=i, size=(i * 5) % 30 + 1, runtime=5.0 + i % 7)
+            for i in range(200)
+        ]
+        for order in ("sjf", "smallest", "largest"):
+            result = Simulator(
+                JigsawAllocator(tree), queue_order=order
+            ).run(jobs)
+            assert len(result.jobs) == 200, order
+            assert not result.unscheduled
+
+
+class TestValidation:
+    def test_unknown_order(self, tree):
+        with pytest.raises(ValueError, match="queue order"):
+            Simulator(BaselineAllocator(tree), queue_order="lifo")
+
+    def test_priority_requires_easy(self, tree):
+        with pytest.raises(ValueError, match="EASY"):
+            Simulator(
+                BaselineAllocator(tree),
+                queue_order="sjf",
+                backfill_policy="conservative",
+            )

@@ -1,0 +1,147 @@
+"""The constructive rearrangeable-non-blocking router (Appendix A)."""
+
+import random
+
+import pytest
+
+from repro.core.jigsaw import JigsawAllocator
+from repro.core.laas import LaaSAllocator
+from repro.routing.rearrange import (
+    _decompose_regular,
+    full_machine_allocation,
+    route_permutation,
+    verify_one_flow_per_link,
+)
+from repro.topology.fattree import FatTree
+
+
+def random_perm(nodes, rng):
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    return dict(zip(nodes, shuffled))
+
+
+class TestDecomposition:
+    def test_regular_multigraph_decomposes(self):
+        # 2-regular: two vertices, parallel edges and self-loops
+        edges = [("a", "b", (1, 2)), ("b", "a", (3, 4)),
+                 ("a", "a", None), ("b", "b", None)]
+        rounds = _decompose_regular(edges, 2)
+        assert len(rounds) == 2
+        for rnd in rounds:
+            srcs = [u for u, _, _ in rnd]
+            dsts = [v for _, v, _ in rnd]
+            assert sorted(srcs) == ["a", "b"]
+            assert sorted(dsts) == ["a", "b"]
+
+    def test_zero_degree(self):
+        assert _decompose_regular([], 0) == []
+
+    def test_irregular_graph_raises(self):
+        edges = [("a", "b", None), ("a", "b", None)]  # b never sends
+        with pytest.raises(RuntimeError):
+            _decompose_regular(edges, 2)
+
+
+class TestFullMachine:
+    @pytest.mark.parametrize("radix", [4, 6, 8])
+    def test_theorem5_full_fat_tree_is_rnb(self, radix):
+        tree = FatTree.from_radix(radix)
+        alloc = full_machine_allocation(tree)
+        rng = random.Random(radix)
+        for _ in range(3):
+            perm = random_perm(list(alloc.nodes), rng)
+            assignments = route_permutation(tree, alloc, perm)
+            assert verify_one_flow_per_link(tree, alloc, assignments) == []
+
+    def test_identity_permutation_uses_no_links(self):
+        tree = FatTree.from_radix(4)
+        alloc = full_machine_allocation(tree)
+        perm = {n: n for n in alloc.nodes}
+        assignments = route_permutation(tree, alloc, perm)
+        assert all(a.l2_index is None for a in assignments.values())
+
+
+class TestPartitions:
+    @pytest.mark.parametrize("size", [2, 5, 8, 9, 11, 16, 20, 33, 48, 64])
+    def test_theorem6_jigsaw_allocations_are_rnb(self, size):
+        tree = FatTree.from_radix(8)
+        allocator = JigsawAllocator(tree)
+        alloc = allocator.allocate(1, size)
+        rng = random.Random(size)
+        for _ in range(3):
+            perm = random_perm(sorted(alloc.nodes), rng)
+            assignments = route_permutation(tree, alloc, perm)
+            assert verify_one_flow_per_link(tree, alloc, assignments) == []
+
+    def test_laas_allocations_are_rnb(self):
+        tree = FatTree.from_radix(8)
+        allocator = LaaSAllocator(tree)
+        jid = 100
+        for pod in range(tree.num_pods):
+            for leaf in list(tree.leaves_of_pod(pod))[:2]:
+                jid += 1
+                allocator.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+        alloc = allocator.allocate(1, 13)
+        rng = random.Random(0)
+        perm = random_perm(sorted(alloc.nodes), rng)
+        assignments = route_permutation(tree, alloc, perm)
+        assert verify_one_flow_per_link(tree, alloc, assignments) == []
+
+    def test_fragmented_live_allocations_are_rnb(self):
+        tree = FatTree.from_radix(8)
+        allocator = JigsawAllocator(tree)
+        rng = random.Random(99)
+        live = {}
+        jid = 0
+        checked = 0
+        for _ in range(300):
+            if live and (rng.random() < 0.4 or len(live) > 20):
+                allocator.release(live.popitem()[0])
+            else:
+                jid += 1
+                alloc = allocator.allocate(jid, rng.choice([3, 6, 9, 13, 20, 34]))
+                if alloc:
+                    live[jid] = alloc
+                    if checked < 25:
+                        perm = random_perm(sorted(alloc.nodes), rng)
+                        a = route_permutation(tree, alloc, perm)
+                        assert verify_one_flow_per_link(tree, alloc, a) == []
+                        checked += 1
+        assert checked >= 20
+
+
+class TestValidation:
+    def test_perm_must_be_bijection(self):
+        tree = FatTree.from_radix(4)
+        allocator = JigsawAllocator(tree)
+        alloc = allocator.allocate(1, 4)
+        nodes = sorted(alloc.nodes)
+        with pytest.raises(ValueError):
+            route_permutation(tree, alloc, {nodes[0]: nodes[0]})
+        with pytest.raises(ValueError):
+            route_permutation(
+                tree, alloc, {n: nodes[0] for n in nodes}
+            )
+
+    def test_verifier_catches_shared_link(self):
+        from repro.routing.rearrange import FlowAssignment
+
+        tree = FatTree.from_radix(4)
+        alloc = full_machine_allocation(tree)
+        # two flows from the same leaf forced onto the same up index
+        bad = {
+            (0, 2): FlowAssignment(0, 2, l2_index=0),
+            (1, 3): FlowAssignment(1, 3, l2_index=0),
+        }
+        violations = verify_one_flow_per_link(tree, alloc, bad)
+        assert any("share" in v for v in violations)
+
+    def test_verifier_catches_missing_links(self):
+        from repro.routing.rearrange import FlowAssignment
+
+        tree = FatTree.from_radix(4)
+        alloc = full_machine_allocation(tree)
+        bad = {(0, 2): FlowAssignment(0, 2)}  # cross-leaf without links
+        violations = verify_one_flow_per_link(tree, alloc, bad)
+        assert any("without links" in v for v in violations)

@@ -1,0 +1,76 @@
+"""ASCII rendering."""
+
+import pytest
+
+from repro.core.registry import make_allocator
+from repro.topology.fattree import FatTree
+from repro.topology.render import (
+    job_symbols,
+    render_allocation,
+    render_free_summary,
+    render_occupancy,
+)
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+def test_symbols_stable_and_unique_for_small_sets():
+    symbols = job_symbols([9, 3, 7])
+    assert len(set(symbols.values())) == 3
+    assert job_symbols([3, 7, 9]) == symbols
+
+
+def test_occupancy_empty_machine(tree):
+    allocator = make_allocator("jigsaw", tree)
+    text = render_occupancy(allocator.state)
+    assert text.count("\n") == tree.num_pods - 1
+    assert "[....]" in text
+    assert text.count("[") == tree.num_leaves
+
+
+def test_occupancy_shows_jobs(tree):
+    allocator = make_allocator("jigsaw", tree)
+    allocator.allocate(1, 4)
+    allocator.allocate(2, 6)
+    text = render_occupancy(allocator.state)
+    assert "a" in text and "b" in text
+    # exactly the allocated node counts appear
+    assert text.count("a") == 4
+    assert text.count("b") == 6
+
+
+def test_occupancy_pod_subset(tree):
+    allocator = make_allocator("jigsaw", tree)
+    text = render_occupancy(allocator.state, pods=[0, 1])
+    assert text.count("pod") == 2
+
+
+def test_render_allocation_lists_links(tree):
+    allocator = make_allocator("jigsaw", tree)
+    alloc = allocator.allocate(1, 20)  # three-level: has spine links
+    text = render_allocation(tree, alloc)
+    assert "20 nodes" in text
+    assert "uplinks [" in text
+    assert "spines [" in text
+
+
+def test_render_allocation_shows_padding(tree):
+    allocator = make_allocator("laas", tree)
+    jid = 100
+    for pod in range(tree.num_pods):
+        for leaf in list(tree.leaves_of_pod(pod))[:2]:
+            jid += 1
+            allocator.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+    alloc = allocator.allocate(1, 11)
+    assert "(+1 padding)" in render_allocation(tree, alloc)
+
+
+def test_free_summary(tree):
+    allocator = make_allocator("jigsaw", tree)
+    allocator.allocate(1, tree.nodes_per_pod)
+    text = render_free_summary(allocator.state)
+    assert f"0/{tree.nodes_per_pod} free" in text
+    assert text.count("\n") == tree.num_pods - 1

@@ -1,0 +1,91 @@
+"""Schedule event log."""
+
+import io
+
+import pytest
+
+from repro.core.baseline import BaselineAllocator
+from repro.sched.job import Job
+from repro.sched.log import ScheduleLog
+from repro.sched.simulator import Simulator
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+def run(tree, jobs, **kw):
+    log = ScheduleLog()
+    Simulator(BaselineAllocator(tree), event_log=log, **kw).run(jobs)
+    return log
+
+
+class TestLogContents:
+    def test_every_job_has_three_events(self, tree):
+        jobs = [Job(id=i, size=10, runtime=5.0) for i in range(10)]
+        log = run(tree, jobs)
+        for i in range(10):
+            kinds = [e.kind for e in log.of_job(i)]
+            assert kinds == ["arrive", "start", "complete"]
+        assert len(log) == 30
+
+    def test_event_times_ordered_per_job(self, tree):
+        jobs = [Job(id=1, size=128, runtime=7.0),
+                Job(id=2, size=128, runtime=3.0)]
+        log = run(tree, jobs)
+        a, s, c = log.of_job(2)
+        assert a.time <= s.time <= c.time
+        assert s.time == pytest.approx(7.0)
+
+    def test_backfill_marked(self, tree):
+        jobs = [
+            Job(id=1, size=100, runtime=100.0),
+            Job(id=2, size=100, runtime=10.0),
+            Job(id=3, size=20, runtime=50.0),  # backfills
+        ]
+        log = run(tree, jobs)
+        start3 = next(e for e in log.of_job(3) if e.kind == "start")
+        assert start3.via == "backfill"
+        assert log.backfill_fraction == pytest.approx(1 / 3)
+        assert log.start_mechanisms()["fifo"] == 2
+
+    def test_conservative_marks_reserved(self, tree):
+        jobs = [Job(id=1, size=10, runtime=5.0)]
+        log = run(tree, jobs, backfill_policy="conservative")
+        start = next(e for e in log.of_job(1) if e.kind == "start")
+        assert start.via == "reserved"
+
+    def test_no_log_by_default(self, tree):
+        result = Simulator(BaselineAllocator(tree)).run(
+            [Job(id=1, size=4, runtime=1.0)]
+        )
+        assert len(result.jobs) == 1  # merely runs without a log
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tree):
+        jobs = [Job(id=1, size=4, runtime=1.0)]
+        log = run(tree, jobs)
+        buf = io.StringIO()
+        log.to_csv(buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "time,kind,job_id,size,via"
+        assert len(lines) == 1 + len(log)
+
+    def test_csv_file(self, tree, tmp_path):
+        log = run(tree, [Job(id=1, size=4, runtime=1.0)])
+        path = tmp_path / "log.csv"
+        log.to_csv(path)
+        assert path.read_text().startswith("time,kind")
+
+    def test_validation(self):
+        log = ScheduleLog()
+        with pytest.raises(ValueError):
+            log.record(0.0, "pause", 1, 4)
+        with pytest.raises(ValueError):
+            log.record(0.0, "start", 1, 4, via="teleport")
+
+    def test_empty_backfill_fraction(self):
+        assert ScheduleLog().backfill_fraction == 0.0

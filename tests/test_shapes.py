@@ -1,0 +1,142 @@
+"""Shape enumeration: conditions (1)-(3) as arithmetic."""
+
+import pytest
+
+from repro.core.shapes import (
+    ThreeLevelShape,
+    TwoLevelShape,
+    three_level_shapes,
+    two_level_shapes,
+)
+
+
+class TestTwoLevelShape:
+    def test_size_and_leaf_count(self):
+        s = TwoLevelShape(LT=3, nL=4, nrL=2)
+        assert s.size == 14
+        assert s.num_leaves == 4
+        assert not s.single_leaf
+
+    def test_single_leaf(self):
+        s = TwoLevelShape(LT=1, nL=5, nrL=0)
+        assert s.single_leaf
+        assert s.num_leaves == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelShape(LT=0, nL=4, nrL=0)
+        with pytest.raises(ValueError):
+            TwoLevelShape(LT=1, nL=4, nrL=4)  # remainder not smaller
+        with pytest.raises(ValueError):
+            TwoLevelShape(LT=1, nL=0, nrL=0)
+
+
+class TestThreeLevelShape:
+    def test_size_identity(self):
+        # N = T(LT*nL) + (LrT*nL + nrL), the identity in condition (3)
+        s = ThreeLevelShape(T=2, LT=2, nL=2, LrT=1, nrL=1)
+        assert s.nT == 4
+        assert s.nrT == 3
+        assert s.size == 11  # the paper's Figure 3 example
+        assert s.num_pods == 3
+        assert s.has_remainder_pod
+
+    def test_no_remainder(self):
+        s = ThreeLevelShape(T=3, LT=2, nL=4, LrT=0, nrL=0)
+        assert s.nrT == 0
+        assert s.num_pods == 3
+        assert not s.has_remainder_pod
+
+    def test_remainder_must_be_smaller_than_full_tree(self):
+        with pytest.raises(ValueError):
+            ThreeLevelShape(T=1, LT=2, nL=2, LrT=2, nrL=0)  # nrT == nT
+        with pytest.raises(ValueError):
+            ThreeLevelShape(T=1, LT=1, nL=4, LrT=0, nrL=4)  # nrL == nL
+
+
+class TestTwoLevelEnumeration:
+    def test_every_shape_reconstructs_size(self):
+        for size in range(1, 65):
+            for s in two_level_shapes(size, m1=8, m2=8):
+                assert s.size == size
+                assert s.num_leaves <= 8
+                assert s.nL <= 8
+
+    def test_one_shape_per_nl(self):
+        shapes = list(two_level_shapes(13, m1=8, m2=8))
+        nls = [s.nL for s in shapes]
+        assert len(set(nls)) == len(nls)
+
+    def test_dense_order_prefers_fewest_leaves(self):
+        shapes = list(two_level_shapes(13, m1=8, m2=8))
+        assert shapes[0].nL == 8
+        leaves = [s.num_leaves for s in shapes]
+        assert leaves == sorted(leaves)
+
+    def test_sparse_order_reversed(self):
+        dense = list(two_level_shapes(13, m1=8, m2=8, order="dense"))
+        sparse = list(two_level_shapes(13, m1=8, m2=8, order="sparse"))
+        assert dense == list(reversed(sparse))
+
+    def test_too_large_for_pod_yields_nothing(self):
+        assert list(two_level_shapes(65, m1=8, m2=8)) == []
+
+    def test_exact_pod_size(self):
+        shapes = list(two_level_shapes(64, m1=8, m2=8))
+        assert TwoLevelShape(LT=8, nL=8, nrL=0) in shapes
+
+    def test_single_node(self):
+        shapes = list(two_level_shapes(1, m1=8, m2=8))
+        assert shapes == [TwoLevelShape(LT=1, nL=1, nrL=0)]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(two_level_shapes(0, m1=8, m2=8))
+
+
+class TestThreeLevelEnumeration:
+    def test_full_leaves_only_pins_nl(self):
+        for s in three_level_shapes(50, m1=8, m2=8, m3=16):
+            assert s.nL == 8
+            assert s.size == 50
+
+    def test_least_constrained_covers_all_nl(self):
+        shapes = list(
+            three_level_shapes(50, m1=8, m2=8, m3=16, full_leaves_only=False)
+        )
+        assert {s.nL for s in shapes} >= {1, 2, 4, 8}
+        for s in shapes:
+            assert s.size == 50
+
+    def test_excludes_single_pod_no_remainder(self):
+        # 16 nodes = one full pod on an m1=4, m2=4 tree: a two-level shape
+        for s in three_level_shapes(16, m1=4, m2=4, m3=8):
+            assert s.num_pods > 1
+
+    def test_respects_pod_count(self):
+        for s in three_level_shapes(120, m1=4, m2=4, m3=8):
+            assert s.num_pods <= 8
+
+    def test_paper_figure3_shape_present(self):
+        # Figure 3: N=11, T=2 trees of nT=4, remainder tree nrT=3
+        shapes = list(
+            three_level_shapes(11, m1=2, m2=2, m3=4, full_leaves_only=True)
+        )
+        assert ThreeLevelShape(T=2, LT=2, nL=2, LrT=1, nrL=1) in shapes
+
+    def test_size_larger_than_machine_yields_nothing(self):
+        assert list(three_level_shapes(1000, m1=4, m2=4, m3=8)) == []
+
+    def test_small_sizes_have_no_three_level_shape_with_full_leaves(self):
+        # a sub-leaf job cannot use a full-leaf three-level shape
+        assert list(three_level_shapes(3, m1=8, m2=8, m3=16)) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(three_level_shapes(0, m1=4, m2=4, m3=8))
+
+    def test_dense_vs_sparse_order(self):
+        dense = list(three_level_shapes(64, m1=4, m2=4, m3=8))
+        sparse = list(three_level_shapes(64, m1=4, m2=4, m3=8, order="sparse"))
+        assert set(dense) == set(sparse)
+        assert dense != sparse or len(dense) <= 1

@@ -1,0 +1,75 @@
+"""Performance scenarios of section 5.4.1."""
+
+import pytest
+
+from repro.sched.job import Job
+from repro.sched.speedup import SCENARIOS, apply_scenario
+
+
+def make_jobs(sizes):
+    return [Job(id=i, size=s, runtime=100.0) for i, s in enumerate(sizes)]
+
+
+def test_none_clears_speedups():
+    jobs = make_jobs([1, 10, 200])
+    for j in jobs:
+        j.speedup = 0.5
+    apply_scenario(jobs, "none")
+    assert all(j.speedup == 0.0 for j in jobs)
+
+
+@pytest.mark.parametrize("scenario,pct", [("5%", 0.05), ("10%", 0.10), ("20%", 0.20)])
+def test_fixed_scenarios_respect_four_node_floor(scenario, pct):
+    jobs = make_jobs([1, 4, 5, 64, 500])
+    apply_scenario(jobs, scenario)
+    assert jobs[0].speedup == 0.0
+    assert jobs[1].speedup == 0.0  # exactly four nodes: no speed-up
+    assert jobs[2].speedup == pct
+    assert jobs[3].speedup == pct
+    assert jobs[4].speedup == pct
+
+
+def test_v2_scales_linearly_with_size():
+    jobs = make_jobs(list(range(1, 301)))
+    apply_scenario(jobs, "v2", seed=3)
+    max_size = 300
+    for j in jobs:
+        assert 0.0 <= j.speedup <= 0.30 * j.size / max_size + 1e-12
+    # some jobs actually speed up
+    assert any(j.speedup > 0 for j in jobs)
+
+
+def test_random_scenario_only_above_64_nodes():
+    jobs = make_jobs([1, 64, 65, 100, 200] * 50)
+    apply_scenario(jobs, "random", seed=1)
+    for j in jobs:
+        if j.size <= 64:
+            assert j.speedup == 0.0
+        else:
+            assert j.speedup in (0.0, 0.05, 0.15, 0.30)
+    assert any(j.speedup > 0 for j in jobs if j.size > 64)
+
+
+def test_deterministic_across_calls():
+    jobs1 = make_jobs([100, 200, 300] * 20)
+    jobs2 = make_jobs([100, 200, 300] * 20)
+    apply_scenario(jobs1, "random", seed=7)
+    apply_scenario(jobs2, "random", seed=7)
+    assert [j.speedup for j in jobs1] == [j.speedup for j in jobs2]
+
+
+def test_seed_changes_assignment():
+    jobs1 = make_jobs([100, 200, 300] * 20)
+    jobs2 = make_jobs([100, 200, 300] * 20)
+    apply_scenario(jobs1, "random", seed=1)
+    apply_scenario(jobs2, "random", seed=2)
+    assert [j.speedup for j in jobs1] != [j.speedup for j in jobs2]
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        apply_scenario(make_jobs([1]), "15%")
+
+
+def test_scenario_list_matches_paper():
+    assert SCENARIOS == ("none", "5%", "10%", "20%", "v2", "random")

@@ -1,0 +1,67 @@
+"""Multi-seed statistics."""
+
+import pytest
+
+from repro.experiments.stats import (
+    SeedStats,
+    across_seeds,
+    fig6_with_seeds,
+    gap_is_significant,
+    utilization_with_seeds,
+)
+
+
+class TestSeedStats:
+    def test_mean_std_ci(self):
+        s = SeedStats((1.0, 2.0, 3.0))
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.ci95 == pytest.approx(1.96 / 3**0.5)
+
+    def test_single_value(self):
+        s = SeedStats((5.0,))
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeedStats(())
+
+    def test_str(self):
+        assert "±" in str(SeedStats((1.0, 2.0)))
+
+    def test_gap_significance(self):
+        tight_low = SeedStats((1.0, 1.01, 0.99))
+        tight_high = SeedStats((2.0, 2.01, 1.99))
+        wide = SeedStats((0.0, 2.0, 4.0))
+        assert gap_is_significant(tight_low, tight_high)
+        assert not gap_is_significant(tight_low, wide)
+
+
+class TestAcrossSeeds:
+    def test_metric_called_per_seed(self):
+        calls = []
+
+        def metric(seed):
+            calls.append(seed)
+            return float(seed)
+
+        stats = across_seeds(metric, [3, 5, 7])
+        assert calls == [3, 5, 7]
+        assert stats.mean == pytest.approx(5.0)
+
+
+class TestExperimentIntegration:
+    def test_utilization_with_seeds(self):
+        stats = utilization_with_seeds(
+            "Synth-16", "jigsaw", seeds=(0, 1), scale=0.004
+        )
+        assert stats.n == 2
+        assert 50 < stats.mean <= 100
+
+    def test_fig6_with_seeds(self):
+        rows = fig6_with_seeds(
+            ["Synth-16"], ["baseline", "jigsaw"], seeds=(0,), scale=0.004
+        )
+        assert rows["Synth-16"]["baseline"].mean >= 90

@@ -1,0 +1,131 @@
+"""Subnet manager: on-the-fly routing updates across job lifecycles."""
+
+import random
+
+import pytest
+
+from repro.core.registry import make_allocator
+from repro.routing.subnet import SubnetManager
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)
+
+
+@pytest.fixture
+def manager(tree):
+    return SubnetManager(tree)
+
+
+def links_of_path(tree, path, src, dst):
+    """Reconstruct the (undirected) cable identities a switch path uses."""
+    cables = set()
+    for a, b in zip(path, path[1:]):
+        kinds = {a[0], b[0]}
+        if kinds == {"leaf", "l2"}:
+            leaf = a[1] if a[0] == "leaf" else b[1]
+            i = (a if a[0] == "l2" else b)[2]
+            cables.add(("leaf", leaf, i))
+        elif kinds == {"l2", "spine"}:
+            l2 = a if a[0] == "l2" else b
+            spine = a if a[0] == "spine" else b
+            cables.add(("spine", l2[1], l2[2], spine[2]))
+    return cables
+
+
+class TestLifecycle:
+    def test_default_routing_without_jobs(self, tree, manager):
+        path = manager.forward(0, 100)
+        assert path[0] == ("leaf", tree.leaf_of_node(0))
+        assert path[-1] == ("leaf", tree.leaf_of_node(100))
+        assert manager.overlay_entries == 0
+
+    def test_install_confines_job_traffic(self, tree, manager):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(1, 9)
+        manager.install(alloc)
+        owned_leaf = {("leaf", l.leaf, l.l2_index) for l in alloc.leaf_links}
+        nodes = sorted(alloc.nodes)
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                path = manager.forward(src, dst)
+                for cable in links_of_path(tree, path, src, dst):
+                    if cable[0] == "leaf":
+                        assert cable in owned_leaf, (src, dst, cable)
+
+    def test_remove_restores_default(self, tree, manager):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(1, 9)
+        manager.install(alloc)
+        entries = manager.overlay_entries
+        assert entries > 0
+        removed = manager.remove(1)
+        assert removed == entries
+        assert manager.overlay_entries == 0
+        # traffic to the (now free) nodes follows the default again
+        src, dst = sorted(alloc.nodes)[:2]
+        assert manager.forward(src, dst)
+
+    def test_overlay_only_touches_job_destinations(self, tree, manager):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(1, 9)
+        manager.install(alloc)
+        outside = max(alloc.nodes) + tree.m1
+        # traffic to foreign destinations is unaffected by the overlay
+        default = SubnetManager(tree)
+        assert manager.forward(0, outside) == default.forward(0, outside)
+
+    def test_destination_ownership(self, tree, manager):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(7, 6)
+        manager.install(alloc)
+        assert manager.owner_of_destination(alloc.nodes[0]) == 7
+        assert manager.owner_of_destination(tree.num_nodes - 1) is None
+        assert manager.installed_jobs == {7}
+
+    def test_double_install_rejected(self, tree, manager):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(1, 6)
+        manager.install(alloc)
+        with pytest.raises(ValueError):
+            manager.install(alloc)
+
+    def test_remove_unknown_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.remove(3)
+
+
+class TestChurn:
+    def test_many_jobs_cycling(self, tree, manager):
+        """Allocate/install and release/remove under churn; every live
+        job's internal traffic always delivered."""
+        allocator = make_allocator("jigsaw", tree)
+        rng = random.Random(3)
+        live = {}
+        jid = 0
+        for _ in range(150):
+            if live and (rng.random() < 0.45 or len(live) > 12):
+                victim = rng.choice(sorted(live))
+                allocator.release(victim)
+                manager.remove(victim)
+                del live[victim]
+            else:
+                jid += 1
+                alloc = allocator.allocate(jid, rng.choice([2, 4, 6, 9, 13]))
+                if alloc is None:
+                    continue
+                manager.install(alloc)
+                live[jid] = alloc
+            for alloc in live.values():
+                nodes = sorted(alloc.nodes)
+                if len(nodes) >= 2:
+                    path = manager.forward(nodes[0], nodes[-1])
+                    assert path[-1] == ("leaf", tree.leaf_of_node(nodes[-1]))
+        # drain
+        for victim in sorted(live):
+            manager.remove(victim)
+        assert manager.overlay_entries == 0

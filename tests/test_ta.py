@@ -1,0 +1,145 @@
+"""TA: containment rules, implicit reservation, Figure 2 scenarios."""
+
+import pytest
+
+from repro.core.ta import TopologyAwareAllocator
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture
+def tree():
+    return FatTree.from_radix(8)  # m1=m2=4, pod=16
+
+
+@pytest.fixture
+def alloc(tree):
+    return TopologyAwareAllocator(tree)
+
+
+class TestClassification:
+    def test_classes(self, tree, alloc):
+        assert alloc.classify(1) == "t1"
+        assert alloc.classify(tree.m1) == "t1"
+        assert alloc.classify(tree.m1 + 1) == "t2"
+        assert alloc.classify(tree.nodes_per_pod) == "t2"
+        assert alloc.classify(tree.nodes_per_pod + 1) == "t3"
+
+
+class TestT1Rules:
+    def test_t1_confined_to_one_leaf(self, tree, alloc):
+        a = alloc.allocate(1, 3)
+        assert len({n // tree.m1 for n in a.nodes}) == 1
+        assert a.leaf_links == () and a.spine_links == ()
+
+    def test_figure2_right_external_fragmentation(self, tree, alloc):
+        """Figure 2 (right): three nodes are free but no single leaf has
+        three, so a 3-node job cannot be placed."""
+        jid = 0
+        for leaf in range(tree.num_leaves):
+            jid += 1
+            nodes = list(tree.nodes_of_leaf(leaf))
+            alloc.state.claim(jid, nodes[: tree.m1 - 1])  # leave 1 free each
+        assert alloc.free_nodes == tree.num_leaves
+        assert alloc.allocate(9999, 3) is None  # plenty free, none usable
+
+    def test_t1_can_share_leaf_with_t1(self, tree, alloc):
+        a1 = alloc.allocate(1, 2)
+        a2 = alloc.allocate(2, 2)
+        # best-fit packs the second small job onto the same leaf
+        assert {n // tree.m1 for n in a1.nodes} == {n // tree.m1 for n in a2.nodes}
+
+    def test_t1_excluded_from_reserved_leaf_when_strict(self, tree):
+        strict = TopologyAwareAllocator(tree, t1_shares_multi_leaf=False)
+        t2 = strict.allocate(1, 6)  # spans 2 leaves, reserves both
+        t2_leaves = {n // tree.m1 for n in t2.nodes}
+        for jid in range(2, 40):
+            a = strict.allocate(jid, 2)
+            if a is None:
+                break
+            assert not ({n // tree.m1 for n in a.nodes} & t2_leaves)
+
+    def test_t1_may_share_reserved_leaf_when_permissive(self, tree):
+        perm = TopologyAwareAllocator(tree, t1_shares_multi_leaf=True)
+        t2 = perm.allocate(1, 6)
+        t2_leaves = {n // perm.tree.m1 for n in t2.nodes}
+        placements = set()
+        for jid in range(2, 70):
+            a = perm.allocate(jid, 1)
+            if a is None:
+                break
+            placements |= {n // perm.tree.m1 for n in a.nodes}
+        assert placements & t2_leaves  # eventually lands on a reserved leaf
+
+
+class TestT2Rules:
+    def test_t2_confined_to_one_pod(self, tree, alloc):
+        a = alloc.allocate(1, 10)
+        assert len({tree.pod_of_node(n) for n in a.nodes}) == 1
+
+    def test_t2_jobs_never_share_leaves(self, tree, alloc):
+        a1 = alloc.allocate(1, 6)
+        a2 = alloc.allocate(2, 6)
+        leaves1 = {n // tree.m1 for n in a1.nodes}
+        leaves2 = {n // tree.m1 for n in a2.nodes}
+        assert not leaves1 & leaves2
+
+    def test_t2_blocked_without_clean_leaves_in_any_single_pod(self, tree, alloc):
+        # Reserve one leaf per pod via a T2 job footprint of 5 nodes
+        # (2 leaves), repeated so every pod has at most 2 clean leaves =
+        # 8 free-on-clean nodes; then a 9-node T2 job fails everywhere.
+        jid = 0
+        for pod in range(tree.num_pods):
+            jid += 1
+            leaves = list(tree.leaves_of_pod(pod))
+            nodes = list(tree.nodes_of_leaf(leaves[0])) + list(
+                tree.nodes_of_leaf(leaves[1])
+            )[:1]
+            alloc.state.claim(jid, nodes)
+            alloc._multi_owner[leaves[0]] = jid
+            alloc._multi_owner[leaves[1]] = jid
+            alloc._job_meta[jid] = ("t2", (leaves[0], leaves[1]), (pod,))
+            alloc.allocations[jid] = None  # not used by search
+        assert alloc.allocate(9999, 9) is None
+
+    def test_release_clears_reservation(self, tree, alloc):
+        a = alloc.allocate(1, 6)
+        leaves = {n // tree.m1 for n in a.nodes}
+        alloc.release(1)
+        for leaf in leaves:
+            assert alloc._multi_owner[leaf] == -1
+        # the leaves are usable by another T2 again
+        a2 = alloc.allocate(2, 6)
+        assert a2 is not None
+
+
+class TestT3Rules:
+    def test_one_t3_per_pod(self, tree, alloc):
+        a1 = alloc.allocate(1, tree.nodes_per_pod + 4)  # T3 across 2 pods
+        pods1 = {tree.pod_of_node(n) for n in a1.nodes}
+        a2 = alloc.allocate(2, tree.nodes_per_pod + 4)
+        pods2 = {tree.pod_of_node(n) for n in a2.nodes}
+        assert not pods1 & pods2
+
+    def test_t3_exact_node_count(self, tree, alloc):
+        a = alloc.allocate(1, tree.nodes_per_pod + 3)
+        assert len(a.nodes) == tree.nodes_per_pod + 3  # no internal node frag
+
+    def test_t3_release_frees_pods(self, tree, alloc):
+        a = alloc.allocate(1, tree.nodes_per_pod + 4)
+        pods = {tree.pod_of_node(n) for n in a.nodes}
+        alloc.release(1)
+        for pod in pods:
+            assert alloc._t3_owner[pod] == -1
+
+    def test_whole_machine_t3(self, tree, alloc):
+        a = alloc.allocate(1, tree.num_nodes)
+        assert a is not None
+        assert len(a.nodes) == tree.num_nodes
+
+    def test_t3_blocked_when_all_pods_have_t3(self, tree, alloc):
+        # Two T3 jobs spanning 4 pods each block all 8 pods
+        alloc.allocate(1, 4 * tree.nodes_per_pod - 2)
+        alloc.allocate(2, 4 * tree.nodes_per_pod - 2)
+        used_pods = set(p for p, o in enumerate(alloc._t3_owner) if o != -1)
+        if len(used_pods) == tree.num_pods:
+            assert alloc.allocate(3, tree.nodes_per_pod + 1) is None

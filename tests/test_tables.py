@@ -1,0 +1,124 @@
+"""Forwarding tables: table-driven packets reach their destinations."""
+
+import random
+
+import pytest
+
+from repro.core.registry import make_allocator
+from repro.routing.tables import (
+    dmodk_tables,
+    partition_tables,
+    tables_use_only_allocated_links,
+)
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return FatTree.from_radix(8)
+
+
+@pytest.fixture(scope="module")
+def full_tables(tree):
+    return dmodk_tables(tree)
+
+
+class TestDmodkTables:
+    def test_every_pair_delivered(self, tree, full_tables):
+        rng = random.Random(1)
+        for _ in range(300):
+            src, dst = rng.sample(range(tree.num_nodes), 2)
+            path = full_tables.forward(src, dst)
+            assert path[0] == ("leaf", tree.leaf_of_node(src))
+            assert path[-1] == ("leaf", tree.leaf_of_node(dst))
+
+    def test_hop_counts(self, tree, full_tables):
+        # same leaf: 1 switch; same pod: 3; cross pod: 5
+        assert len(full_tables.forward(0, 1)) == 1
+        assert len(full_tables.forward(0, tree.m1)) == 3
+        assert len(full_tables.forward(0, tree.nodes_per_pod)) == 5
+
+    def test_self_delivery_trivial(self, full_tables):
+        assert full_tables.forward(5, 5) == []
+
+    def test_table_sizes(self, tree, full_tables):
+        assert len(full_tables.tables) == (
+            tree.num_leaves + tree.num_l2 + tree.num_spines
+        )
+        for table in full_tables.tables.values():
+            assert len(table) == tree.num_nodes
+
+    def test_matches_dmodk_route(self, tree, full_tables):
+        """Table-driven paths traverse the same switches dmodk_route says."""
+        from repro.routing.dmodk import dmodk_route
+
+        rng = random.Random(2)
+        for _ in range(100):
+            src, dst = rng.sample(range(tree.num_nodes), 2)
+            route = dmodk_route(tree, src, dst)
+            path = full_tables.forward(src, dst)
+            if route.spine_up is not None:
+                spine = next(s for s in path if s[0] == "spine")
+                assert spine == (
+                    "spine", route.spine_up.l2_index, route.spine_up.spine_index
+                )
+
+    def test_unknown_destination(self, full_tables):
+        with pytest.raises(KeyError):
+            full_tables.port(("leaf", 0), 10_000)
+
+
+class TestPartitionTables:
+    @pytest.mark.parametrize("size", [2, 5, 9, 16, 20, 33])
+    def test_confined_and_complete(self, tree, size):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(1, size)
+        tables = partition_tables(tree, alloc)
+        assert tables_use_only_allocated_links(tree, tables, alloc)
+        nodes = sorted(alloc.nodes)
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                path = tables.forward(src, dst)
+                assert path[-1] == ("leaf", tree.leaf_of_node(dst))
+
+    def test_laas_partition_tables(self, tree):
+        allocator = make_allocator("laas", tree)
+        jid = 100
+        for pod in range(tree.num_pods):
+            for leaf in list(tree.leaves_of_pod(pod))[:2]:
+                jid += 1
+                allocator.state.claim(jid, list(tree.nodes_of_leaf(leaf)))
+        alloc = allocator.allocate(1, 11)
+        tables = partition_tables(tree, alloc)
+        assert tables_use_only_allocated_links(tree, tables, alloc)
+        for dst in sorted(alloc.nodes)[1:]:
+            tables.forward(sorted(alloc.nodes)[0], dst)
+
+    def test_tables_do_not_cover_foreign_nodes(self, tree):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(1, 8)
+        tables = partition_tables(tree, alloc)
+        outside = max(alloc.nodes) + tree.m1
+        with pytest.raises(KeyError):
+            tables.forward(min(alloc.nodes), outside)
+
+    def test_audit_detects_foreign_link(self, tree):
+        allocator = make_allocator("jigsaw", tree)
+        alloc = allocator.allocate(1, 9)
+        tables = partition_tables(tree, alloc)
+        # corrupt a table entry on the remainder leaf (the one leaf that
+        # does not own all of its uplinks) to point at a foreign uplink
+        by_leaf = {}
+        for link in alloc.leaf_links:
+            by_leaf.setdefault(link.leaf, set()).add(link.l2_index)
+        leaf, owned = next(
+            (l, o) for l, o in by_leaf.items() if len(o) < tree.m1
+        )
+        foreign = next(i for i in range(tree.m1) if i not in owned)
+        victim = next(
+            d for d, p in tables.tables[("leaf", leaf)].items() if p >= tree.m1
+        )
+        tables.tables[("leaf", leaf)][victim] = tree.m1 + foreign
+        assert not tables_use_only_allocated_links(tree, tables, alloc)

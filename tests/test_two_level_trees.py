@@ -1,0 +1,63 @@
+"""Two-level clusters as the degenerate case (m3 = 1).
+
+The theory builds three-level trees out of two-level ones; a single-pod
+XGFT *is* a two-level fat-tree, and everything — allocators, conditions,
+routing, simulation — must work there unchanged (this is LaaS's original
+setting)."""
+
+import random
+
+import pytest
+
+from repro.core.conditions import check_allocation
+from repro.core.registry import make_allocator
+from repro.routing.rearrange import route_permutation, verify_one_flow_per_link
+from repro.sched.job import Job
+from repro.sched.simulator import Simulator
+from repro.topology.fattree import XGFT
+
+
+@pytest.fixture
+def pod():
+    return XGFT(m1=4, m2=4, m3=1)  # one 16-node pod
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "jigsaw", "laas", "ta", "lc+s"])
+def test_allocators_work_single_pod(pod, scheme):
+    allocator = make_allocator(scheme, pod)
+    alloc = allocator.allocate(1, 6)
+    assert alloc is not None
+    assert alloc.spine_links == ()  # no third level to use
+    if scheme in ("jigsaw", "laas", "lc+s"):
+        assert check_allocation(pod, alloc, exact_nodes=(scheme != "laas")) == []
+
+
+def test_whole_pod_job(pod):
+    allocator = make_allocator("jigsaw", pod)
+    alloc = allocator.allocate(1, 16)
+    assert alloc is not None
+    assert len(alloc.nodes) == 16
+
+
+def test_oversized_fails_cleanly(pod):
+    allocator = make_allocator("jigsaw", pod)
+    assert allocator.allocate(1, 17) is None
+
+
+def test_two_level_partitions_are_rnb(pod):
+    allocator = make_allocator("jigsaw", pod)
+    alloc = allocator.allocate(1, 7)
+    rng = random.Random(1)
+    nodes = sorted(alloc.nodes)
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    perm = dict(zip(nodes, shuffled))
+    assignments = route_permutation(pod, alloc, perm)
+    assert verify_one_flow_per_link(pod, alloc, assignments) == []
+
+
+def test_simulation_on_single_pod(pod):
+    jobs = [Job(id=i, size=(i % 6) + 1, runtime=10.0) for i in range(60)]
+    result = Simulator(make_allocator("jigsaw", pod)).run(jobs)
+    assert len(result.jobs) == 60
+    assert not result.unscheduled

@@ -1,0 +1,50 @@
+"""Physical wiring: the folded Clos is buildable from uniform switches."""
+
+import pytest
+
+from repro.topology.fattree import FatTree, XGFT
+from repro.topology.wiring import cable_count, cables, port_usage, validate_wiring
+
+
+@pytest.mark.parametrize("radix", [4, 8, 16])
+def test_maximal_trees_wire_cleanly(radix):
+    tree = FatTree.from_radix(radix)
+    assert validate_wiring(tree) == []
+
+
+def test_uniform_radix_claim(radix=8):
+    """Section 2.1: every switch of a maximal tree has the same radix."""
+    tree = FatTree.from_radix(radix)
+    usage = port_usage(tree)
+    leaf_ports = {u for s, u in usage.items() if s[0] == "leaf"}
+    l2_ports = {u for s, u in usage.items() if s[0] == "l2"}
+    spine_ports = {u for s, u in usage.items() if s[0] == "spine"}
+    assert leaf_ports == l2_ports == spine_ports == {radix}
+
+
+def test_cable_count_matches_enumeration():
+    tree = FatTree.from_radix(8)
+    assert cable_count(tree) == len(list(cables(tree)))
+    # nodes + leaf uplinks + spine links
+    assert cable_count(tree) == 128 + 128 + 128
+
+
+def test_every_port_unique():
+    tree = FatTree.from_radix(6)
+    endpoints = [e for c in cables(tree) for e in (c.a, c.b)]
+    assert len(set(endpoints)) == len(endpoints)
+
+
+def test_non_maximal_tree_has_dark_spine_ports():
+    # half the pods: spines use only m3 ports, fewer than the leaf radix
+    tree = XGFT(m1=4, m2=4, m3=4)
+    usage = port_usage(tree)
+    spine_ports = {u for s, u in usage.items() if s[0] == "spine"}
+    assert spine_ports == {4}
+    assert validate_wiring(tree) == []  # still internally consistent
+
+
+def test_cable_touches():
+    tree = FatTree.from_radix(4)
+    cable = next(iter(cables(tree)))
+    assert cable.touches(("node", 0)) or cable.touches(("leaf", 0))

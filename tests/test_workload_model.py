@@ -1,0 +1,103 @@
+"""Composable workload models."""
+
+import numpy as np
+import pytest
+
+from repro.traces.model import WorkloadModel
+
+
+def base(**kw):
+    defaults = dict(name="m", system_nodes=1024, max_size=256)
+    defaults.update(kw)
+    return WorkloadModel(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(system_nodes=0),
+            dict(max_size=2048),
+            dict(max_size=0),
+            dict(runtime="weibull"),
+            dict(arrivals="burst"),
+            dict(pow2_fraction=1.5),
+            dict(near_machine_prob=-0.1),
+            dict(spikes=((0, 0.5),)),
+            dict(spikes=((64, 1.5),)),
+            dict(arrivals="poisson", load=0.0),
+            dict(min_runtime=0.0),
+            dict(min_runtime=100.0, max_runtime=10.0),
+        ],
+    )
+    def test_bad_params(self, kw):
+        with pytest.raises(ValueError):
+            base(**kw)
+
+    def test_bad_num_jobs(self):
+        with pytest.raises(ValueError):
+            base().generate(0)
+
+
+class TestGeneration:
+    def test_sizes_respect_max(self):
+        trace = base(mean_size=100, max_size=128).generate(2000, seed=1)
+        assert max(j.size for j in trace.jobs) <= 128
+
+    def test_spikes_add_mass(self):
+        plain = base(mean_size=8).generate(4000, seed=1)
+        spiked = base(mean_size=8, spikes=((200, 0.05),)).generate(4000, seed=1)
+        assert sum(1 for j in spiked.jobs if j.size == 200) > 100
+        assert sum(1 for j in plain.jobs if j.size == 200) < 20
+
+    def test_near_machine_jobs(self):
+        trace = base(near_machine_prob=0.01).generate(3000, seed=1)
+        big = [j for j in trace.jobs if j.size >= 128]
+        assert 5 <= len(big) <= 100
+
+    def test_uniform_runtimes(self):
+        trace = base(runtime="uniform", min_runtime=20, max_runtime=30).generate(
+            500, seed=1
+        )
+        rts = [j.runtime for j in trace.jobs]
+        assert min(rts) >= 20 and max(rts) <= 30
+
+    def test_lognormal_skew(self):
+        trace = base(runtime="lognormal", median_runtime=100, sigma=1.5,
+                     max_runtime=10_000).generate(4000, seed=1)
+        rts = sorted(j.runtime for j in trace.jobs)
+        assert rts[len(rts) // 2] < sum(rts) / len(rts)  # median < mean
+
+    def test_zero_arrivals(self):
+        trace = base().generate(100, seed=1)
+        assert all(j.arrival == 0.0 for j in trace.jobs)
+        assert not trace.has_arrivals
+
+    def test_poisson_load_controls_rate(self):
+        light = base(arrivals="poisson", load=0.5).generate(2000, seed=1)
+        heavy = base(arrivals="poisson", load=2.0).generate(2000, seed=1)
+        assert light.jobs[-1].arrival > heavy.jobs[-1].arrival
+
+    def test_diurnal_changes_timing_only(self):
+        flat = base(arrivals="poisson", load=1.0).generate(1000, seed=1)
+        wavy = base(arrivals="poisson", load=1.0, diurnal=True).generate(
+            1000, seed=1
+        )
+        assert [j.size for j in flat.jobs] == [j.size for j in wavy.jobs]
+        assert [j.arrival for j in flat.jobs] != [j.arrival for j in wavy.jobs]
+
+    def test_deterministic(self):
+        a = base().generate(200, seed=9)
+        b = base().generate(200, seed=9)
+        assert [(j.size, j.runtime) for j in a.jobs] == [
+            (j.size, j.runtime) for j in b.jobs
+        ]
+
+    def test_simulatable(self):
+        from repro import FatTree, Simulator, make_allocator
+
+        model = base(mean_size=6, max_size=64)
+        trace = model.generate(200, seed=2)
+        tree = FatTree.from_radix(8)
+        result = Simulator(make_allocator("jigsaw", tree)).run(trace)
+        assert len(result.jobs) == 200
