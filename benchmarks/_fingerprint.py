@@ -1,0 +1,56 @@
+"""Decision-invariance fingerprint: hash every SimResult field that must
+not change across performance work (job records, makespan, utilization).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py out.json [--scale 0.02]
+
+Compare two dumps with ``diff`` — they must be identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+
+from repro.experiments.runner import paper_setup, run_scheme
+
+TRACES = ("Synth-16", "Thunder", "Sep-Cab")
+SCHEMES = ("baseline", "ta", "laas", "jigsaw", "lc+s")
+
+
+def fingerprint(scale: float) -> dict:
+    out = {}
+    for trace in TRACES:
+        setup = paper_setup(trace, scale=scale, seed=0)
+        for scheme in SCHEMES:
+            result = run_scheme(setup, scheme, seed=0)
+            records = [
+                (r.job_id, r.size, r.arrival, r.start, r.end)
+                for r in result.jobs
+            ]
+            digest = hashlib.sha256(
+                json.dumps(records, sort_keys=True).encode()
+            ).hexdigest()
+            out[f"{trace}/{scheme}"] = {
+                "jobs": len(result.jobs),
+                "records_sha256": digest,
+                "makespan": result.makespan,
+                "steady_state_utilization": result.steady_state_utilization,
+                "overall_utilization": result.overall_utilization,
+                "alloc_attempts": result.alloc_attempts,
+                "unscheduled": list(result.unscheduled),
+            }
+    return out
+
+
+if __name__ == "__main__":
+    path = sys.argv[1]
+    scale = 0.02
+    if "--scale" in sys.argv:
+        scale = float(sys.argv[sys.argv.index("--scale") + 1])
+    data = fingerprint(scale)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    print(f"wrote {len(data)} fingerprints to {path}")

@@ -146,14 +146,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(fig8.render(fig8.fig8_makespan(
             trace_names=args.traces, scale=scale, seed=args.seed)))
     elif args.command == "table3":
-        print(table3.render(table3.table3_scheduling_time(
-            scale=scale, seed=args.seed)))
+        rows, cache_rows = table3.table3_with_cache(scale=scale,
+                                                    seed=args.seed)
+        print(table3.render(rows))
+        print()
+        print(table3.render_cache(cache_rows))
     elif args.command == "simulate":
         setup = paper_setup(args.trace, scale=scale, seed=args.seed)
         result = run_scheme(setup, args.scheme, scenario=args.scenario,
                             seed=args.seed)
         print(result.summary())
         print("instantaneous histogram:", result.instant.as_row())
+        lookups = result.cache_hits + result.cache_misses
+        print(f"feasibility cache: {result.cache_hits}/{lookups} lookups "
+              f"served from cache ({100 * result.cache_hit_rate:.1f}%)")
         from repro.experiments.report import render_sparkline
         from repro.sched.metrics import utilization_timeline
 

@@ -11,9 +11,10 @@ placement currently exists.  The discrete-event simulator in
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Set, Tuple, Union
 
 from repro.core.shapes import ThreeLevelShape, TwoLevelShape
 from repro.topology.fattree import LinkId, SpineLinkId, XGFT
@@ -73,6 +74,12 @@ class AllocatorStats:
     #: successes broken down by allocation level
     two_level: int = 0
     three_level: int = 0
+    #: feasibility-cache consultations that skipped a search
+    cache_hits: int = 0
+    #: feasibility-cache consultations that had to run the search
+    cache_misses: int = 0
+    #: times the cache was flushed because free capacity grew
+    cache_invalidations: int = 0
 
     def record(self, success: bool, seconds: float) -> None:
         self.attempts += 1
@@ -81,6 +88,12 @@ class AllocatorStats:
             self.successes += 1
         else:
             self.failures += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Share of feasibility lookups answered from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 class Allocator(ABC):
@@ -105,6 +118,23 @@ class Allocator(ABC):
         self.state = ClusterState(tree)
         self.stats = AllocatorStats()
         self.allocations: Dict[int, Allocation] = {}
+        # Allocation-feasibility cache.  A key is (effective size,
+        # bw_need); a key is present iff a search with that key failed
+        # and no resource has been freed since.  Claims only *shrink*
+        # availability (nodes, exclusive links, link-bandwidth headroom,
+        # TA's implicit reservations), so a proven failure stays a
+        # failure across any number of claims; only release() — or an
+        # external event that returns capacity, see
+        # :meth:`invalidate_feasibility_cache` — can make it stale.
+        self._failed_keys: Set[Tuple[int, Optional[float]]] = set()
+        # Watermark guarding against *direct* state mutation (tests and
+        # diagnostics releasing nodes without going through release()):
+        # free_nodes_total above the last value seen at a cache consult
+        # means capacity grew behind our back, so the cache is flushed.
+        # Link-only growth is invisible to this guard — anything that
+        # returns link capacity directly must still call
+        # :meth:`invalidate_feasibility_cache` explicitly.
+        self._min_free_seen = self.state.free_nodes_total
 
     # ------------------------------------------------------------------
     # Public API used by the simulator
@@ -118,16 +148,22 @@ class Allocator(ABC):
         GB/s; only the link-sharing scheme (LC+S) uses it, and the paper
         stresses that real schedulers do not have this information.
         """
-        import time
-
         if size < 1:
             raise ValueError("job size must be positive")
         if job_id in self.allocations:
             raise ValueError(f"job {job_id} is already allocated")
         t0 = time.perf_counter()
         alloc: Optional[Allocation] = None
-        if size <= self.state.free_nodes_total:
-            alloc = self._search(job_id, size, bw_need)
+        self._check_watermark()
+        key = (self.effective_size(size), bw_need)
+        if key in self._failed_keys:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.cache_misses += 1
+            if size <= self.state.free_nodes_total:
+                alloc = self._search(job_id, size, bw_need)
+            if alloc is None and self._failure_is_durable():
+                self._failed_keys.add(key)
         if alloc is not None:
             self._claim(alloc, bw_need)
             self.allocations[job_id] = alloc
@@ -142,26 +178,73 @@ class Allocator(ABC):
         """Whether a ``size``-node job could be placed *right now*.
 
         A hypothetical probe: runs the same search as :meth:`allocate`
-        but claims nothing and records nothing in the statistics (so
-        Table 3's scheduling times are not polluted by diagnostics).
+        but claims nothing and spends no time in the timing statistics
+        (so Table 3's scheduling times are not polluted by diagnostics).
+        It does consult — and, on failure, populate — the feasibility
+        cache, since a probe's failure is exactly as durable as a real
+        attempt's.
         """
         if size < 1:
             raise ValueError("job size must be positive")
-        if size > self.state.free_nodes_total:
+        self._check_watermark()
+        key = (self.effective_size(size), bw_need)
+        if key in self._failed_keys:
+            self.stats.cache_hits += 1
             return False
-        return self._search(-1, size, bw_need) is not None
+        self.stats.cache_misses += 1
+        if size > self.state.free_nodes_total:
+            self._failed_keys.add(key)
+            return False
+        ok = self._search(-1, size, bw_need) is not None
+        if not ok and self._failure_is_durable():
+            self._failed_keys.add(key)
+        return ok
 
     def release(self, job_id: int) -> None:
         """Return a finished job's resources to the free pool."""
-        import time
-
         t0 = time.perf_counter()
         if job_id not in self.allocations:
             raise ValueError(f"job {job_id} is not allocated")
         del self.allocations[job_id]
         self._release(job_id)
+        self.invalidate_feasibility_cache()
         self.stats.releases += 1
         self.stats.alloc_seconds += time.perf_counter() - t0
+
+    def invalidate_feasibility_cache(self) -> None:
+        """Forget every cached infeasibility verdict.
+
+        Called automatically on :meth:`release`.  Anything else that
+        grows free capacity *without* going through release — e.g.
+        :meth:`repro.topology.faults.FaultInjector.repair` returning
+        drained hardware to service, or a test mutating
+        :attr:`state` directly — must call this before the next
+        allocation attempt.  Growth in the *node* count is additionally
+        caught by a free-node watermark at the next consult, so only
+        link-only growth strictly requires the explicit call.
+        """
+        if self._failed_keys:
+            self._failed_keys.clear()
+            self.stats.cache_invalidations += 1
+        self._min_free_seen = self.state.free_nodes_total
+
+    def _check_watermark(self) -> None:
+        """Flush the cache if free capacity grew outside release()."""
+        free = self.state.free_nodes_total
+        if free > self._min_free_seen:
+            self.invalidate_feasibility_cache()
+        else:
+            self._min_free_seen = free
+
+    @property
+    def feasibility_cache_size(self) -> int:
+        """Number of (effective size, bw_need) keys currently proven
+        unallocatable (diagnostic; resets to 0 on every release)."""
+        return len(self._failed_keys)
+
+    def feasibility_cache_keys(self) -> Tuple[Tuple[int, Optional[float]], ...]:
+        """Snapshot of the cached infeasible keys (for audits/tests)."""
+        return tuple(sorted(self._failed_keys, key=repr))
 
     def effective_size(self, size: int) -> int:
         """Nodes a ``size``-node job actually consumes under this scheme.
@@ -188,6 +271,18 @@ class Allocator(ABC):
         self, job_id: int, size: int, bw_need: Optional[float]
     ) -> Optional[Allocation]:
         """Find a placement without mutating state, or return None."""
+
+    def _failure_is_durable(self) -> bool:
+        """Whether the last failed :meth:`_search` *proves* infeasibility.
+
+        A complete search's failure stays valid until capacity grows,
+        so it may enter the feasibility cache.  Budget-limited searches
+        (LC+S's scheduling timeout) override this to return ``False``
+        when they gave up early: a timeout is not a proof — a later,
+        smaller search space might succeed within the budget, and
+        caching the timeout would change scheduling decisions.
+        """
+        return True
 
     def _claim(self, alloc: Allocation, bw_need: Optional[float]) -> None:
         self.state.claim(

@@ -16,7 +16,9 @@ for any live allocator state:
 
 Probes use :meth:`repro.core.allocator.Allocator.can_allocate`, which
 searches without claiming, so taking a snapshot never perturbs the
-system being observed.
+system being observed.  (Probes may seed the allocator's feasibility
+cache with *sound* infeasibility verdicts — visible in the cache
+counters, never in any scheduling decision.)
 """
 
 from __future__ import annotations
@@ -46,6 +48,11 @@ class FragmentationSnapshot:
     placeable: Dict[int, bool] = field(default_factory=dict)
     #: largest probe size that is placeable (0 if none)
     largest_placeable: int = 0
+    #: allocator feasibility-cache counters at snapshot time (taken
+    #: before the probe sweep, so they reflect the allocator's history)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
     @property
     def free_fraction(self) -> float:
@@ -56,6 +63,13 @@ class FragmentationSnapshot:
         """Share of the machine lost to padding (the paper measures 3-7 %
         for LaaS)."""
         return self.padding_nodes / self.total_nodes if self.total_nodes else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Share of feasibility lookups the allocator answered from its
+        infeasibility cache (0 when it was never consulted)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @property
     def unusable_free_nodes(self) -> int:
@@ -75,6 +89,10 @@ class FragmentationSnapshot:
             f"partial-leaf shards: {self.shard_nodes} free nodes",
             f"largest placeable job: {self.largest_placeable} nodes "
             f"({self.unusable_free_nodes} free nodes beyond reach)",
+            f"feasibility cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"({100 * self.cache_hit_rate:.1f}% hit rate, "
+            f"{self.cache_invalidations} invalidations)",
         ]
         return "\n".join(lines)
 
@@ -101,6 +119,10 @@ def fragmentation_snapshot(
         probe_sizes = default_probe_sizes(tree.num_nodes)
 
     padding = sum(a.padding for a in allocator.allocations.values())
+    stats = allocator.stats
+    hits, misses, invalidations = (
+        stats.cache_hits, stats.cache_misses, stats.cache_invalidations,
+    )
     free = state.free_nodes_total
     fully_free = int(state.full_free_leaves.sum())
     shard = free - fully_free * tree.m1
@@ -134,6 +156,9 @@ def fragmentation_snapshot(
         pod_free=pod_free,
         placeable=placeable,
         largest_placeable=largest,
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_invalidations=invalidations,
     )
 
 

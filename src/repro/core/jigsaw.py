@@ -72,6 +72,7 @@ class JigsawAllocator(Allocator):
             raise ValueError(f"unknown strategy {strategy!r}")
         self.strategy = strategy
         self._steps_left = self.step_budget
+        self._budget_exhausted = False
 
     class BudgetExhausted(Exception):
         """Raised internally when a search exceeds its step budget."""
@@ -107,6 +108,7 @@ class JigsawAllocator(Allocator):
         self, job_id: int, size: int, bw_need: Optional[float]
     ) -> Optional[Allocation]:
         alloc_size = self.effective_size(size)
+        self._budget_exhausted = False
         if alloc_size > self.state.free_nodes_total:
             return None
         self._steps_left = self.step_budget
@@ -122,8 +124,14 @@ class JigsawAllocator(Allocator):
                 if found3 is not None:
                     return self._build_three_level(job_id, size, shape, *found3)
         except self.BudgetExhausted:
+            self._budget_exhausted = True
             return None  # the paper's per-job scheduling timeout (LC+S)
         return None
+
+    def _failure_is_durable(self) -> bool:
+        # A timed-out search proves nothing about feasibility; only an
+        # exhaustive failure may enter the cross-pass feasibility cache.
+        return not self._budget_exhausted
 
     def _search_two_level(self, alloc_size: int):
         """Find a single-subtree placement, returning ``(shape, solution)``.

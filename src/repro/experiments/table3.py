@@ -11,13 +11,41 @@ is C++; this is Python) — Table 3's *shape* is the reproduction target.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.report import render_table
 from repro.experiments.runner import paper_setup, run_scheme
 
 TABLE3_TRACES = ("Synth-16", "Sep-Cab", "Thunder", "Synth-28")
 TABLE3_SCHEMES = ("ta", "laas", "jigsaw", "lc+s")
+
+
+def table3_with_cache(
+    trace_names: Sequence[str] = TABLE3_TRACES,
+    schemes: Sequence[str] = TABLE3_SCHEMES,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Tuple[Dict[str, Dict[str, float]], Dict[str, Dict[str, str]]]:
+    """Table 3 plus the allocator feasibility-cache counters, from the
+    same simulation runs.
+
+    Returns ``(rows, cache_rows)``: ``rows`` is scheme -> trace -> mean
+    allocator seconds per job; ``cache_rows`` is scheme -> trace ->
+    ``"hit%  (hits/lookups)"``.
+    """
+    rows: Dict[str, Dict[str, float]] = {scheme: {} for scheme in schemes}
+    cache_rows: Dict[str, Dict[str, str]] = {scheme: {} for scheme in schemes}
+    for name in trace_names:
+        setup = paper_setup(name, scale=scale, seed=seed)
+        for scheme in schemes:
+            result = run_scheme(setup, scheme, seed=seed)
+            rows[scheme][name] = result.mean_sched_time_per_job
+            lookups = result.cache_hits + result.cache_misses
+            cache_rows[scheme][name] = (
+                f"{100 * result.cache_hit_rate:.1f}% "
+                f"({result.cache_hits}/{lookups})"
+            )
+    return rows, cache_rows
 
 
 def table3_scheduling_time(
@@ -27,13 +55,7 @@ def table3_scheduling_time(
     seed: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """Mean allocator wall-clock seconds per job: scheme -> trace -> s."""
-    rows: Dict[str, Dict[str, float]] = {scheme: {} for scheme in schemes}
-    for name in trace_names:
-        setup = paper_setup(name, scale=scale, seed=seed)
-        for scheme in schemes:
-            result = run_scheme(setup, scheme, seed=seed)
-            rows[scheme][name] = result.mean_sched_time_per_job
-    return rows
+    return table3_with_cache(trace_names, schemes, scale, seed)[0]
 
 
 def render(rows: Dict[str, Dict[str, float]]) -> str:
@@ -45,4 +67,15 @@ def render(rows: Dict[str, Dict[str, float]]) -> str:
         traces,
         row_header="Approach",
         float_fmt="{:.5f}",
+    )
+
+
+def render_cache(cache_rows: Dict[str, Dict[str, str]]) -> str:
+    """The feasibility-cache companion table (hit rate per run)."""
+    traces = list(next(iter(cache_rows.values())))
+    return render_table(
+        "Allocator feasibility cache: hit rate (hits/lookups)",
+        cache_rows,
+        traces,
+        row_header="Approach",
     )

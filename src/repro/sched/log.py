@@ -17,8 +17,9 @@ from typing import Counter as CounterType
 from collections import Counter
 from typing import List, Optional, TextIO, Union
 
-#: event kinds, in the order they can occur for one job
-KINDS = ("arrive", "start", "complete")
+#: event kinds, in the order they can occur for one job; "unscheduled"
+#: terminates a job that provably can never start (failure injection)
+KINDS = ("arrive", "start", "complete", "unscheduled")
 #: how a start happened
 VIAS = ("fifo", "backfill", "reserved")
 

@@ -112,6 +112,10 @@ class SimResult:
     alloc_attempts: int
     #: ids of jobs that could never be started (should be empty)
     unscheduled: List[int] = field(default_factory=list)
+    #: allocator feasibility-cache lookups answered without a search
+    cache_hits: int = 0
+    #: allocator feasibility-cache lookups that ran the search
+    cache_misses: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +150,12 @@ class SimResult:
     def mean_sched_time_per_job(self) -> float:
         """Table 3's metric: allocator wall-clock seconds per job."""
         return self.sched_seconds / len(self.jobs) if self.jobs else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Share of allocator feasibility lookups served from cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def mean_bounded_slowdown(self, tau: float = 10.0) -> float:
         """Mean bounded slowdown (Feitelson's standard fairness metric):

@@ -15,7 +15,10 @@ The simulator replays a job-queue trace against one allocator:
 Within one scheduling pass, allocation failures are memoized by
 (effective size, bandwidth need): state only shrinks during a pass, so a
 failed size stays failed — this makes wide backfill windows cheap
-without changing any scheduling decision.
+without changing any scheduling decision.  The allocator extends the
+same argument *across* passes with its feasibility cache (see
+:mod:`repro.core.allocator`): a failure stays proven until the next
+release, so pure-arrival event batches never repeat a lost search.
 """
 
 from __future__ import annotations
@@ -117,6 +120,10 @@ class Simulator:
         self.low_interference = allocator.low_interference
         #: the head job's current reservation: (job id, Reservation)
         self._sticky: Optional[Tuple[int, Reservation]] = None
+        #: high-water marks of the live bookkeeping structures, exposed
+        #: so tests can assert the queue stays bounded on long traces
+        self.peak_queue_len = 0
+        self.peak_started_out_of_order = 0
 
     # ------------------------------------------------------------------
     def run(self, trace, trace_name: Optional[str] = None) -> SimResult:
@@ -124,6 +131,8 @@ class Simulator:
         jobs: List[Job] = list(getattr(trace, "jobs", trace))
         name = trace_name or getattr(trace, "name", "trace")
         self._sticky = None
+        self.peak_queue_len = 0
+        self.peak_started_out_of_order = 0
         tree = self.allocator.tree
         for job in jobs:
             job.reset()
@@ -157,7 +166,7 @@ class Simulator:
         total_busy_area = 0.0
         last_t = min((j.arrival for j in jobs), default=0.0)
         n_system = tree.num_nodes
-        unscheduled: List[Job] = []
+        unscheduled: List[int] = []
 
         def advance(t: float) -> None:
             nonlocal busy_area, demand_area, total_busy_area, last_t
@@ -214,15 +223,36 @@ class Simulator:
             nonlocal pending
             if priority_key is None:
                 queue.append(job)
+                self.peak_queue_len = max(self.peak_queue_len, len(queue))
             else:
                 heapq.heappush(pheap, (priority_key(job), next(seq), job))
+                self.peak_queue_len = max(self.peak_queue_len, len(pheap))
             pending += 1
 
-        def peek_head() -> Optional[Job]:
+        def note_started_out_of_order(job_id: int) -> None:
+            started_out_of_order.add(job_id)
+            self.peak_started_out_of_order = max(
+                self.peak_started_out_of_order, len(started_out_of_order)
+            )
+
+        def prune_fifo_front() -> None:
+            """Advance ``head`` past jobs that already started out of
+            order (pruning them from the tracking set — once the head
+            passes a job it can never be looked up again) and compact
+            the FIFO list once at least half of it is dead prefix.  Both
+            are amortized O(1) per event; without them ``queue`` and
+            ``started_out_of_order`` grow with every job ever enqueued."""
             nonlocal head
+            while head < len(queue) and queue[head].id in started_out_of_order:
+                started_out_of_order.discard(queue[head].id)
+                head += 1
+            if head >= 64 and head * 2 >= len(queue):
+                del queue[:head]
+                head = 0
+
+        def peek_head() -> Optional[Job]:
             if priority_key is None:
-                while head < len(queue) and queue[head].id in started_out_of_order:
-                    head += 1
+                prune_fifo_front()
                 return queue[head] if head < len(queue) else None
             while pheap and pheap[0][2].id in started_out_of_order:
                 started_out_of_order.discard(pheap[0][2].id)
@@ -274,6 +304,7 @@ class Simulator:
             nonlocal pending
             from repro.sched.profile import FOREVER, FreeProfile
 
+            prune_fifo_front()
             failed: set = set()
             profile = FreeProfile(now, self.allocator.free_nodes)
             for est_end, eff_size in running.values():
@@ -294,7 +325,7 @@ class Simulator:
                 key = (size, job.bw_need)
                 if start <= now and key not in failed:
                     if try_start(job, now, via="reserved"):
-                        started_out_of_order.add(job.id)
+                        note_started_out_of_order(job.id)
                         pending -= 1
                         profile.reserve(now, now + wall, size)
                         sample()
@@ -363,7 +394,7 @@ class Simulator:
                 ):
                     continue
                 if try_start(cand, now, via="backfill"):
-                    started_out_of_order.add(cand.id)
+                    note_started_out_of_order(cand.id)
                     pending -= 1
                     sample()
                 else:
@@ -399,6 +430,8 @@ class Simulator:
                 # for valid traces; recorded for failure-injection tests).
                 while (job := peek_head()) is not None:
                     unscheduled.append(job.id)
+                    if self.event_log is not None:
+                        self.event_log.record(t, "unscheduled", job.id, job.size)
                     advance_head()
                     pending -= 1
                 break
@@ -421,6 +454,8 @@ class Simulator:
             sched_seconds=self.allocator.stats.alloc_seconds,
             alloc_attempts=self.allocator.stats.attempts,
             unscheduled=unscheduled,
+            cache_hits=self.allocator.stats.cache_hits,
+            cache_misses=self.allocator.stats.cache_misses,
         )
 
     # ------------------------------------------------------------------

@@ -121,6 +121,9 @@ class FaultInjector:
         self.state.release(ticket.fault_id)
         if ticket.bw_claimed and self._links_cap is not None:
             self._links_cap.release(ticket.fault_id)
+        # Repaired hardware grows free capacity outside Allocator.release,
+        # so cached infeasibility verdicts are no longer trustworthy.
+        self.allocator.invalidate_feasibility_cache()
         del self._tickets[ticket.fault_id]
 
     def repair_all(self) -> int:

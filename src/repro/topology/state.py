@@ -187,7 +187,14 @@ class ClusterState:
         # Validate before mutating so failures cannot corrupt state.
         if len(set(nodes)) != len(nodes):
             raise AllocationError("duplicate nodes in claim")
+        num_nodes = self.tree.num_nodes
         for n in nodes:
+            # Bounds first: numpy would raise a raw IndexError for
+            # n >= num_nodes and silently *wrap* negative ids.
+            if not 0 <= n < num_nodes:
+                raise AllocationError(
+                    f"node {n} is outside the cluster [0, {num_nodes})"
+                )
             if self.node_owner[n] != -1:
                 raise AllocationError(f"node {n} is not free")
         if len(set(leaf_links)) != len(leaf_links):
@@ -365,10 +372,15 @@ class LinkCapacityState:
             leaf_links, spine_links, need = self._claims.pop(job_id)
         except KeyError:
             raise AllocationError(f"job {job_id} holds no bandwidth") from None
+        # Clamp tiny negative residue from float accumulation — but only
+        # on the links this job touched: a whole-array clip here costs
+        # O(total links) per release and would also paper over genuine
+        # accounting bugs on links the job never used.
         for leaf, i in leaf_links:
             self.leaf_bw[leaf][i] -= need
+            if self.leaf_bw[leaf][i] < 0.0:
+                self.leaf_bw[leaf][i] = 0.0
         for pod, i, j in spine_links:
             self.spine_bw[pod][i][j] -= need
-        # Clamp tiny negative residue from float accumulation.
-        np.clip(self.leaf_bw, 0.0, None, out=self.leaf_bw)
-        np.clip(self.spine_bw, 0.0, None, out=self.spine_bw)
+            if self.spine_bw[pod][i][j] < 0.0:
+                self.spine_bw[pod][i][j] = 0.0
