@@ -6,6 +6,15 @@ Usage::
     PYTHONPATH=src python benchmarks/_fingerprint.py out.json [--scale 0.02]
 
 Compare two dumps with ``diff`` — they must be identical.
+
+Parallel invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --selfcheck [--scale 0.02]
+
+runs the grid serially and across a 2-worker process pool and asserts
+the fingerprints are identical — the grid engine's core guarantee.
+``--workers N`` fingerprints through an N-worker pool (for diffing a
+parallel dump against a serial one).
 """
 
 from __future__ import annotations
@@ -13,19 +22,25 @@ from __future__ import annotations
 import hashlib
 import json
 import sys
+from typing import Optional
 
-from repro.experiments.runner import paper_setup, run_scheme
+from repro.experiments.grid import run_sim_grid, sim_cell
 
 TRACES = ("Synth-16", "Thunder", "Sep-Cab")
 SCHEMES = ("baseline", "ta", "laas", "jigsaw", "lc+s")
 
 
-def fingerprint(scale: float) -> dict:
+def fingerprint(scale: float, workers: Optional[int] = None) -> dict:
+    cells = [
+        sim_cell(trace=trace, scheme=scheme, scale=scale, seed=0)
+        for trace in TRACES
+        for scheme in SCHEMES
+    ]
+    results = iter(run_sim_grid(cells, workers=workers))
     out = {}
     for trace in TRACES:
-        setup = paper_setup(trace, scale=scale, seed=0)
         for scheme in SCHEMES:
-            result = run_scheme(setup, scheme, seed=0)
+            result = next(results)
             records = [
                 (r.job_id, r.size, r.arrival, r.start, r.end)
                 for r in result.jobs
@@ -45,12 +60,38 @@ def fingerprint(scale: float) -> dict:
     return out
 
 
+def selfcheck(scale: float, workers: int = 2) -> None:
+    """Assert the serial and parallel fingerprints are identical."""
+    serial = fingerprint(scale, workers=1)
+    parallel = fingerprint(scale, workers=workers)
+    mismatches = [key for key in serial if serial[key] != parallel.get(key)]
+    if mismatches or serial.keys() != parallel.keys():
+        for key in mismatches:
+            print(f"MISMATCH {key}:")
+            print(f"  serial:   {serial[key]}")
+            print(f"  parallel: {parallel.get(key)}")
+        raise SystemExit(
+            f"serial vs {workers}-worker fingerprints differ "
+            f"({len(mismatches)} of {len(serial)} runs)"
+        )
+    print(
+        f"selfcheck ok: {len(serial)} fingerprints identical "
+        f"(serial vs {workers} workers, scale {scale})"
+    )
+
+
 if __name__ == "__main__":
-    path = sys.argv[1]
     scale = 0.02
     if "--scale" in sys.argv:
         scale = float(sys.argv[sys.argv.index("--scale") + 1])
-    data = fingerprint(scale)
+    workers = None
+    if "--workers" in sys.argv:
+        workers = int(sys.argv[sys.argv.index("--workers") + 1])
+    if "--selfcheck" in sys.argv:
+        selfcheck(scale, workers=workers or 2)
+        sys.exit(0)
+    path = sys.argv[1]
+    data = fingerprint(scale, workers=workers)
     with open(path, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
     print(f"wrote {len(data)} fingerprints to {path}")

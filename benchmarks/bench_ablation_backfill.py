@@ -7,27 +7,35 @@ reservation policy (how the head's shadow time is maintained under a
 constrained allocator) trades large-job starvation against drains.
 """
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
+
+WINDOWS = (0, 1, 10, 50, 200)
+POLICIES = ("renew", "sticky", "slip")
 
 
 def bench_backfill_window(benchmark, save_result, scale):
     def run():
-        setup = paper_setup("Synth-16", scale=scale)
-        rows = {}
-        for window in (0, 1, 10, 50, 200):
-            result = run_scheme(setup, "jigsaw", backfill_window=window)
-            rows[f"window={window}"] = {
+        labels = [f"window={w}" for w in WINDOWS] + [
+            f"policy={p}" for p in POLICIES
+        ]
+        cells = [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=scale,
+                     backfill_window=window)
+            for window in WINDOWS
+        ] + [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=scale,
+                     reservation_policy=policy)
+            for policy in POLICIES
+        ]
+        results = run_sim_grid(cells)
+        return {
+            label: {
                 "utilization %": result.steady_state_utilization,
                 "mean turnaround s": result.mean_turnaround,
             }
-        for policy in ("renew", "sticky", "slip"):
-            result = run_scheme(setup, "jigsaw", reservation_policy=policy)
-            rows[f"policy={policy}"] = {
-                "utilization %": result.steady_state_utilization,
-                "mean turnaround s": result.mean_turnaround,
-            }
-        return rows
+            for label, result in zip(labels, results)
+        }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(

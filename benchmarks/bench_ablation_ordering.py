@@ -6,8 +6,8 @@ fragmentation (this implementation's default) are free choices the
 paper leaves open.  This bench quantifies them.
 """
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
 
 VARIANTS = {
     "scored/dense": dict(strategy="scored", order="dense"),
@@ -19,15 +19,18 @@ VARIANTS = {
 
 def bench_ordering(benchmark, save_result, scale):
     def run():
-        setup = paper_setup("Synth-16", scale=scale)
-        rows = {}
-        for label, kwargs in VARIANTS.items():
-            result = run_scheme(setup, "jigsaw", **kwargs)
-            rows[label] = {
+        cells = [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=scale, **kwargs)
+            for kwargs in VARIANTS.values()
+        ]
+        results = run_sim_grid(cells)
+        return {
+            label: {
                 "utilization %": result.steady_state_utilization,
                 "sched ms/job": result.mean_sched_time_per_job * 1e3,
             }
-        return rows
+            for label, result in zip(VARIANTS, results)
+        }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(

@@ -6,30 +6,29 @@ bounded slowdown, largest-first feeds Jigsaw's three-level allocator a
 clean fabric (raising utilization and large-job service) while starving
 everyone else."""
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup
-from repro.core.registry import make_allocator
-from repro.sched.simulator import Simulator
 
 ORDERS = ("fifo", "sjf", "smallest", "largest")
 
 
 def bench_queue_order(benchmark, save_result, scale):
     def run():
-        setup = paper_setup("Synth-16", scale=scale)
-        rows = {}
-        for order in ORDERS:
-            sim = Simulator(
-                make_allocator("jigsaw", setup.tree), queue_order=order
-            )
-            result = sim.run(setup.trace)
-            rows[order] = {
+        cells = [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=scale,
+                     queue_order=order)
+            for order in ORDERS
+        ]
+        results = run_sim_grid(cells)
+        return {
+            order: {
                 "utilization %": result.steady_state_utilization,
                 "mean turnaround s": result.mean_turnaround,
                 "bounded slowdown": result.mean_bounded_slowdown(),
                 "large-job turnaround s": result.mean_turnaround_large,
             }
-        return rows
+            for order, result in zip(ORDERS, results)
+        }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(

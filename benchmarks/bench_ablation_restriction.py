@@ -8,23 +8,26 @@ maximal permissiveness scatters free nodes; only adding link *sharing*
 knowledge.  This bench puts the three side by side on Synth-16.
 """
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
 
 SCHEMES = ("jigsaw", "lc", "lc+s")
 
 
 def bench_restriction_ablation(benchmark, save_result, scale):
     def run():
-        setup = paper_setup("Synth-16", scale=scale)
-        rows = {}
-        for scheme in SCHEMES:
-            result = run_scheme(setup, scheme)
-            rows[scheme] = {
+        cells = [
+            sim_cell(trace="Synth-16", scheme=scheme, scale=scale)
+            for scheme in SCHEMES
+        ]
+        results = run_sim_grid(cells)
+        return {
+            scheme: {
                 "utilization %": result.steady_state_utilization,
                 "sched ms/job": result.mean_sched_time_per_job * 1e3,
             }
-        return rows
+            for scheme, result in zip(SCHEMES, results)
+        }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(

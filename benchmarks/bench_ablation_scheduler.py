@@ -6,10 +6,8 @@ Jigsaw: conservative backfilling (every queued job holds a reservation)
 and user walltime overestimation (estimates = actual x factor).
 """
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
-from repro.sched.simulator import Simulator
-from repro.core.registry import make_allocator
 
 VARIANTS = {
     "easy/exact": dict(backfill_policy="easy", estimate_factor=1.0),
@@ -23,17 +21,19 @@ VARIANTS = {
 
 def bench_scheduler_variants(benchmark, save_result, scale):
     def run():
-        setup = paper_setup("Synth-16", scale=scale)
-        rows = {}
-        for label, kwargs in VARIANTS.items():
-            sim = Simulator(make_allocator("jigsaw", setup.tree), **kwargs)
-            result = sim.run(setup.trace)
-            rows[label] = {
+        cells = [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=scale, **kwargs)
+            for kwargs in VARIANTS.values()
+        ]
+        results = run_sim_grid(cells)
+        return {
+            label: {
                 "utilization %": result.steady_state_utilization,
                 "mean turnaround s": result.mean_turnaround,
                 "mean wait s": result.mean_wait,
             }
-        return rows
+            for label, result in zip(VARIANTS, results)
+        }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(

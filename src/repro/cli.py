@@ -33,6 +33,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "counts; overrides REPRO_SCALE)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for the experiment grid (default: "
+        "REPRO_WORKERS or 1 = serial; results are identical either way)",
+    )
 
 
 def _scale(args) -> Optional[float]:
@@ -124,11 +131,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     scale = _scale(args)
 
+    workers = getattr(args, "workers", None)
+
     if args.command == "table1":
-        print(table1.render(table1.table1_traces(scale=scale, seed=args.seed)))
+        print(table1.render(table1.table1_traces(scale=scale, seed=args.seed,
+                                                 workers=workers)))
     elif args.command == "fig6":
         rows = fig6.fig6_utilization(names=args.traces, scale=scale,
-                                     seed=args.seed)
+                                     seed=args.seed, workers=workers)
         print(fig6.render(rows))
         from repro.experiments.report import render_bars
 
@@ -138,16 +148,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                               lo=60.0, hi=100.0))
     elif args.command == "table2":
         print(table2.render(table2.table2_instantaneous(
-            trace_name=args.trace, scale=scale, seed=args.seed)))
+            trace_name=args.trace, scale=scale, seed=args.seed,
+            workers=workers)))
     elif args.command == "fig7":
         print(fig7.render(fig7.fig7_turnaround(
-            trace_names=args.traces, scale=scale, seed=args.seed)))
+            trace_names=args.traces, scale=scale, seed=args.seed,
+            workers=workers)))
     elif args.command == "fig8":
         print(fig8.render(fig8.fig8_makespan(
-            trace_names=args.traces, scale=scale, seed=args.seed)))
+            trace_names=args.traces, scale=scale, seed=args.seed,
+            workers=workers)))
     elif args.command == "table3":
         rows, cache_rows = table3.table3_with_cache(scale=scale,
-                                                    seed=args.seed)
+                                                    seed=args.seed,
+                                                    workers=workers)
         print(table3.render(rows))
         print()
         print(table3.render_cache(cache_rows))
@@ -186,6 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenarios=args.scenarios,
             seeds=(args.seed,),
             progress=True,
+            workers=workers,
         )
         for scenario in args.scenarios:
             print(campaign.table(metric=args.metric, scenario=scenario,

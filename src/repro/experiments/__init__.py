@@ -9,6 +9,11 @@ One module per artifact:
 * :mod:`repro.experiments.fig8` — normalized makespans (Figure 8)
 * :mod:`repro.experiments.table3` — scheduling time per job (Table 3)
 
+Every module enumerates its (trace x scheme x scenario) grid through
+:mod:`repro.experiments.grid`, which fans the cells across a process
+pool when ``workers`` (or ``REPRO_WORKERS``) is above 1 — outputs are
+byte-identical to the serial run either way.
+
 All experiments accept a ``scale`` in ``(0, 1]`` that multiplies the
 paper's job counts; the defaults keep each benchmark in the minutes
 range on a laptop, and ``REPRO_SCALE=1`` reruns at paper scale (see
@@ -20,6 +25,14 @@ from repro.experiments.runner import (
     default_scale,
     paper_setup,
     run_scheme,
+)
+from repro.experiments.grid import (
+    GridCell,
+    cell,
+    resolve_workers,
+    run_grid,
+    run_sim_grid,
+    sim_cell,
 )
 from repro.experiments.fig6 import fig6_utilization
 from repro.experiments.fig7 import fig7_turnaround
@@ -39,6 +52,12 @@ __all__ = [
     "paper_setup",
     "default_scale",
     "run_scheme",
+    "GridCell",
+    "cell",
+    "resolve_workers",
+    "run_grid",
+    "run_sim_grid",
+    "sim_cell",
     "fig6_utilization",
     "fig7_turnaround",
     "fig8_makespan",

@@ -19,10 +19,10 @@ import json
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.experiments import grid
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
 from repro.sched.metrics import SimResult
 
 #: the scalar metrics a campaign records per run
@@ -83,23 +83,6 @@ def _extract_metrics(result: SimResult) -> Dict[str, float]:
     return {name: float(getattr(result, name)) for name in METRICS}
 
 
-def _run_one(args: Tuple[str, str, str, int, Optional[float]]) -> dict:
-    """Worker entry point for parallel campaigns (module-level so it is
-    picklable by :mod:`concurrent.futures`).  Rebuilds the trace from its
-    seed — deterministic, so parallel and serial campaigns agree."""
-    trace_name, scheme, scenario, seed, scale = args
-    setup = paper_setup(trace_name, scale=scale, seed=seed)
-    t0 = time.perf_counter()
-    result = run_scheme(setup, scheme, scenario=scenario, seed=seed)
-    record = RunRecord(
-        key=RunKey(trace_name, scheme, scenario, seed),
-        metrics=_extract_metrics(result),
-        num_jobs=len(result.jobs),
-        wall_seconds=time.perf_counter() - t0,
-    )
-    return record.to_json()
-
-
 class Campaign:
     """A persisted sweep of simulations.
 
@@ -111,6 +94,11 @@ class Campaign:
     scale:
         Job-count scale forwarded to :func:`paper_setup`.
     """
+
+    #: minimum seconds between incremental saves during a sweep (the
+    #: final save always happens; this only throttles mid-sweep
+    #: checkpoints so a large campaign is not rewritten per run)
+    SAVE_INTERVAL_SECONDS = 5.0
 
     def __init__(
         self,
@@ -159,42 +147,66 @@ class Campaign:
         scenarios: Sequence[str] = ("none",),
         seeds: Sequence[int] = (0,),
         progress: bool = False,
+        workers: Optional[int] = None,
     ) -> List[RunRecord]:
-        """Run (or skip, if already recorded) every combination."""
-        done: List[RunRecord] = []
-        for trace_name in traces:
-            for seed in seeds:
-                setup = None  # built lazily: only if some run is missing
-                for scenario in scenarios:
-                    for scheme in schemes:
-                        key = RunKey(trace_name, scheme, scenario, seed)
-                        if key in self.records:
-                            done.append(self.records[key])
-                            continue
-                        if setup is None:
-                            setup = paper_setup(
-                                trace_name, scale=self.scale, seed=seed
-                            )
-                        t0 = time.perf_counter()
-                        result = run_scheme(
-                            setup, scheme, scenario=scenario, seed=seed
-                        )
-                        record = RunRecord(
-                            key=key,
-                            metrics=_extract_metrics(result),
-                            num_jobs=len(result.jobs),
-                            wall_seconds=time.perf_counter() - t0,
-                        )
-                        self.records[key] = record
-                        self._save()
-                        done.append(record)
-                        if progress:
-                            print(
-                                f"[campaign] {key.as_str()}: "
-                                f"util={record.metrics['steady_state_utilization']:.1f}% "
-                                f"({record.wall_seconds:.1f}s)"
-                            )
-        return done
+        """Run (or skip, if already recorded) every combination.
+
+        Cells fan out through :func:`repro.experiments.grid.run_grid`
+        (``workers=None`` resolves ``REPRO_WORKERS``, default serial);
+        records always come back in grid order — traces, seeds,
+        scenarios, schemes, nested in that order — regardless of worker
+        count or completion order.  Completed runs are checkpointed to
+        the campaign file at most every :attr:`SAVE_INTERVAL_SECONDS`
+        (plus a final save), so interrupting a long sweep loses at most
+        a few seconds of finished work instead of rewriting the whole
+        file per run.
+        """
+        keys = [
+            RunKey(trace_name, scheme, scenario, seed)
+            for trace_name in traces
+            for seed in seeds
+            for scenario in scenarios
+            for scheme in schemes
+        ]
+        missing = [key for key in keys if key not in self.records]
+        if missing:
+            cells = [
+                grid.sim_cell(
+                    trace=key.trace,
+                    scheme=key.scheme,
+                    scenario=key.scenario,
+                    seed=key.seed,
+                    scale=self.scale,
+                )
+                for key in missing
+            ]
+            last_save = time.monotonic()
+
+            def on_result(index: int, outcome: grid.CellOutcome) -> None:
+                nonlocal last_save
+                key = missing[index]
+                result = outcome.value
+                record = RunRecord(
+                    key=key,
+                    metrics=_extract_metrics(result),
+                    num_jobs=len(result.jobs),
+                    wall_seconds=outcome.wall_seconds,
+                )
+                self.records[key] = record
+                now = time.monotonic()
+                if now - last_save >= self.SAVE_INTERVAL_SECONDS:
+                    self._save()
+                    last_save = now
+                if progress:
+                    print(
+                        f"[campaign] {key.as_str()}: "
+                        f"util={record.metrics['steady_state_utilization']:.1f}% "
+                        f"({record.wall_seconds:.1f}s)"
+                    )
+
+            grid.run_grid(cells, workers=workers, on_result=on_result)
+            self._save()
+        return [self.records[key] for key in keys]
 
     def run_parallel(
         self,
@@ -205,44 +217,15 @@ class Campaign:
         workers: int = 4,
         progress: bool = False,
     ) -> List[RunRecord]:
-        """Like :meth:`run`, but across a process pool.
-
-        Each simulation is independent (traces are rebuilt per worker
-        from their seeds), so this parallelizes embarrassingly; results
-        are persisted incrementally as workers finish, preserving
-        resumability even if the pool is interrupted.
-        """
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-
-        todo = []
-        done: List[RunRecord] = []
-        for trace_name in traces:
-            for seed in seeds:
-                for scenario in scenarios:
-                    for scheme in schemes:
-                        key = RunKey(trace_name, scheme, scenario, seed)
-                        if key in self.records:
-                            done.append(self.records[key])
-                        else:
-                            todo.append(
-                                (trace_name, scheme, scenario, seed, self.scale)
-                            )
-        if not todo:
-            return done
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_one, args) for args in todo]
-            for future in as_completed(futures):
-                record = RunRecord.from_json(future.result())
-                self.records[record.key] = record
-                self._save()
-                done.append(record)
-                if progress:
-                    print(
-                        f"[campaign] {record.key.as_str()}: "
-                        f"util={record.metrics['steady_state_utilization']:.1f}% "
-                        f"({record.wall_seconds:.1f}s)"
-                    )
-        return done
+        """:meth:`run` across a process pool (kept for compatibility)."""
+        return self.run(
+            traces,
+            schemes,
+            scenarios=scenarios,
+            seeds=seeds,
+            progress=progress,
+            workers=workers,
+        )
 
     # ------------------------------------------------------------------
     # Reporting

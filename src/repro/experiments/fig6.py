@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import ALL_TRACE_NAMES, paper_setup, run_scheme
+from repro.experiments.runner import ALL_TRACE_NAMES
 
 #: presentation order of Figure 6's bars
 FIG6_SCHEMES = ("baseline", "lc+s", "jigsaw", "laas", "ta")
@@ -21,16 +22,19 @@ def fig6_utilization(
     schemes: Sequence[str] = FIG6_SCHEMES,
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Average utilization (%) per trace per scheme."""
-    rows: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        setup = paper_setup(name, scale=scale, seed=seed)
-        rows[name] = {}
-        for scheme in schemes:
-            result = run_scheme(setup, scheme, seed=seed)
-            rows[name][scheme] = result.steady_state_utilization
-    return rows
+    cells = [
+        sim_cell(trace=name, scheme=scheme, scale=scale, seed=seed)
+        for name in names
+        for scheme in schemes
+    ]
+    results = iter(run_sim_grid(cells, workers=workers))
+    return {
+        name: {scheme: next(results).steady_state_utilization for scheme in schemes}
+        for name in names
+    }
 
 
 def render(rows: Dict[str, Dict[str, float]]) -> str:

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
 from repro.sched.speedup import SCENARIOS
 
 FIG7_TRACES = ("Aug-Cab", "Oct-Cab")
@@ -29,6 +29,7 @@ def fig7_turnaround(
     scenarios: Sequence[str] = SCENARIOS,
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Normalized turnaround per trace: scenario -> scheme -> ratio.
 
@@ -36,17 +37,28 @@ def fig7_turnaround(
     ``<scheme>/large`` (jobs over 100 nodes), matching the filled and
     empty bar portions of Figure 7.
     """
+    cells = []
+    for name in trace_names:
+        cells.append(sim_cell(trace=name, scheme="baseline", scale=scale, seed=seed))
+        for scenario in scenarios:
+            for scheme in schemes:
+                cells.append(
+                    sim_cell(
+                        trace=name, scheme=scheme, scenario=scenario,
+                        scale=scale, seed=seed,
+                    )
+                )
+    results = iter(run_sim_grid(cells, workers=workers))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in trace_names:
-        setup = paper_setup(name, scale=scale, seed=seed)
-        base = run_scheme(setup, "baseline", seed=seed)
+        base = next(results)
         base_all = base.mean_turnaround
         base_large = base.mean_turnaround_large
         out[name] = {}
         for scenario in scenarios:
             row: Dict[str, float] = {}
             for scheme in schemes:
-                result = run_scheme(setup, scheme, scenario=scenario, seed=seed)
+                result = next(results)
                 row[scheme] = result.mean_turnaround / base_all
                 row[f"{scheme}/large"] = (
                     result.mean_turnaround_large / base_large

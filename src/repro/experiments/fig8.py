@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
 from repro.sched.speedup import SCENARIOS
 
 FIG8_TRACES = ("Thunder", "Atlas")
@@ -25,19 +25,29 @@ def fig8_makespan(
     scenarios: Sequence[str] = SCENARIOS,
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Normalized makespan per trace: scenario -> scheme -> ratio."""
+    cells = []
+    for name in trace_names:
+        cells.append(sim_cell(trace=name, scheme="baseline", scale=scale, seed=seed))
+        for scenario in scenarios:
+            for scheme in schemes:
+                cells.append(
+                    sim_cell(
+                        trace=name, scheme=scheme, scenario=scenario,
+                        scale=scale, seed=seed,
+                    )
+                )
+    results = iter(run_sim_grid(cells, workers=workers))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in trace_names:
-        setup = paper_setup(name, scale=scale, seed=seed)
-        base = run_scheme(setup, "baseline", seed=seed).makespan
+        base = next(results).makespan
         out[name] = {}
         for scenario in scenarios:
-            row: Dict[str, float] = {}
-            for scheme in schemes:
-                result = run_scheme(setup, scheme, scenario=scenario, seed=seed)
-                row[scheme] = result.makespan / base
-            out[name][scenario] = row
+            out[name][scenario] = {
+                scheme: next(results).makespan / base for scheme in schemes
+            }
     return out
 
 

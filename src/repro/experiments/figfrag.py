@@ -19,8 +19,8 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.diagnostics import fragmentation_snapshot
 from repro.core.registry import make_allocator
+from repro.experiments.grid import cell, run_sim_grid, setup_for
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup
 from repro.sched.simulator import Simulator
 
 DEFAULT_SCHEMES = ("jigsaw", "laas", "ta")
@@ -55,6 +55,43 @@ class FragTimeSeries:
         return row
 
 
+def _frag_cell(
+    trace: str,
+    scheme: str,
+    probes: Sequence[int] = DEFAULT_PROBES,
+    sample_every: int = 25,
+    scale: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Grid task: one scheme's instrumented replay, as its table row."""
+    probes = tuple(probes)
+    setup = setup_for(trace, scale=scale, seed=seed)
+    allocator = make_allocator(scheme, setup.tree)
+    series = FragTimeSeries(scheme)
+    releases = [0]
+    orig_release = allocator.release
+
+    def sampled_release(job_id, _orig=orig_release, _a=allocator,
+                        _s=series):
+        _orig(job_id)
+        releases[0] += 1
+        if releases[0] % sample_every:
+            return
+        snap = fragmentation_snapshot(_a, probe_sizes=probes)
+        _s.samples += 1
+        _s.free_pct_sum += 100.0 * snap.free_fraction
+        _s.padding_pct_sum += 100.0 * snap.internal_fragmentation_fraction
+        _s.full_free_leaves_sum += snap.fully_free_leaves
+        _s.shard_pct_sum += 100.0 * snap.shard_nodes / snap.total_nodes
+        for p in probes:
+            if snap.placeable.get(p):
+                _s.placeable_hits[p] = _s.placeable_hits.get(p, 0) + 1
+
+    allocator.release = sampled_release
+    Simulator(allocator).run(setup.trace)
+    return series.as_row(probes)
+
+
 def fragmentation_timeseries(
     trace_name: str = "Synth-16",
     schemes: Sequence[str] = DEFAULT_SCHEMES,
@@ -62,36 +99,23 @@ def fragmentation_timeseries(
     sample_every: int = 25,
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Time-averaged fragmentation decomposition per scheme."""
-    rows: Dict[str, Dict[str, float]] = {}
-    for scheme in schemes:
-        setup = paper_setup(trace_name, scale=scale, seed=seed)
-        allocator = make_allocator(scheme, setup.tree)
-        series = FragTimeSeries(scheme)
-        releases = [0]
-        orig_release = allocator.release
-
-        def sampled_release(job_id, _orig=orig_release, _a=allocator,
-                            _s=series):
-            _orig(job_id)
-            releases[0] += 1
-            if releases[0] % sample_every:
-                return
-            snap = fragmentation_snapshot(_a, probe_sizes=probes)
-            _s.samples += 1
-            _s.free_pct_sum += 100.0 * snap.free_fraction
-            _s.padding_pct_sum += 100.0 * snap.internal_fragmentation_fraction
-            _s.full_free_leaves_sum += snap.fully_free_leaves
-            _s.shard_pct_sum += 100.0 * snap.shard_nodes / snap.total_nodes
-            for p in probes:
-                if snap.placeable.get(p):
-                    _s.placeable_hits[p] = _s.placeable_hits.get(p, 0) + 1
-
-        allocator.release = sampled_release
-        Simulator(allocator).run(setup.trace)
-        rows[scheme] = series.as_row(probes)
-    return rows
+    cells = [
+        cell(
+            _frag_cell,
+            trace=trace_name,
+            scheme=scheme,
+            probes=tuple(probes),
+            sample_every=sample_every,
+            scale=scale,
+            seed=seed,
+        )
+        for scheme in schemes
+    ]
+    rows = run_sim_grid(cells, workers=workers)
+    return dict(zip(schemes, rows))
 
 
 def render(rows: Dict[str, Dict[str, float]]) -> str:

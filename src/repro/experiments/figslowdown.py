@@ -15,9 +15,10 @@ the empirical basis for the scenario magnitudes.
 from __future__ import annotations
 
 import random
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.registry import make_allocator
+from repro.experiments.grid import cell, run_sim_grid
 from repro.experiments.report import render_table
 from repro.netsim.slowdown import slowdown_report
 from repro.topology.fattree import FatTree
@@ -40,39 +41,66 @@ def _pack(scheme: str, tree: FatTree, occupancy: float, seed: int):
     return allocations
 
 
+def _slowdown_cell(
+    scheme: str,
+    pattern: str,
+    partitioned: bool,
+    radix: int,
+    occupancy: float,
+    seeds: Sequence[int],
+) -> Dict[str, float]:
+    """Grid task: one scheme/pattern row, averaged over the seeds."""
+    tree = FatTree.from_radix(radix)
+    means = []
+    maxes = []
+    for seed in seeds:
+        allocations = _pack(scheme, tree, occupancy, seed)
+        report = slowdown_report(
+            tree, allocations, patterns=pattern, seed=seed,
+            use_partition_routing=partitioned,
+        )
+        means.append(report.mean_slowdown)
+        maxes.append(report.max_slowdown)
+    return {
+        "mean slowdown": sum(means) / len(means),
+        "max slowdown": max(maxes),
+        "implied isolation speed-up %": 100.0 * (
+            sum(means) / len(means) - 1.0
+        ),
+    }
+
+
 def slowdown_comparison(
     radix: int = 8,
     occupancy: float = 0.9,
     patterns: Sequence[str] = DEFAULT_PATTERNS,
     seeds: Sequence[int] = (0, 1, 2),
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Mean and max inter-job slowdown per scheme and pattern.
 
     Rows are ``{scheme}/{pattern}``; columns mean/max slowdown and the
     implied section-5.4.1 isolation speed-up.
     """
-    tree = FatTree.from_radix(radix)
-    rows: Dict[str, Dict[str, float]] = {}
-    for scheme, partitioned in (("baseline", False), ("jigsaw", True)):
+    grid: Tuple[Tuple[str, bool], ...] = (("baseline", False), ("jigsaw", True))
+    labels = []
+    cells = []
+    for scheme, partitioned in grid:
         for pattern in patterns:
-            means = []
-            maxes = []
-            for seed in seeds:
-                allocations = _pack(scheme, tree, occupancy, seed)
-                report = slowdown_report(
-                    tree, allocations, patterns=pattern, seed=seed,
-                    use_partition_routing=partitioned,
+            labels.append(f"{scheme}/{pattern}")
+            cells.append(
+                cell(
+                    _slowdown_cell,
+                    scheme=scheme,
+                    pattern=pattern,
+                    partitioned=partitioned,
+                    radix=radix,
+                    occupancy=occupancy,
+                    seeds=tuple(seeds),
                 )
-                means.append(report.mean_slowdown)
-                maxes.append(report.max_slowdown)
-            rows[f"{scheme}/{pattern}"] = {
-                "mean slowdown": sum(means) / len(means),
-                "max slowdown": max(maxes),
-                "implied isolation speed-up %": 100.0 * (
-                    sum(means) / len(means) - 1.0
-                ),
-            }
-    return rows
+            )
+    rows = run_sim_grid(cells, workers=workers)
+    return dict(zip(labels, rows))
 
 
 def render(rows: Dict[str, Dict[str, float]]) -> str:

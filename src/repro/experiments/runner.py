@@ -138,15 +138,26 @@ def run_scheme(
     seed: int = 0,
     backfill_window: int = 50,
     reservation_policy: str = "renew",
+    backfill_policy: str = "easy",
+    estimate_factor: float = 1.0,
+    queue_order: str = "fifo",
     **allocator_kwargs,
 ) -> SimResult:
-    """Simulate ``setup``'s trace under one scheme (and speed-up scenario)."""
-    if scenario is not None:
-        apply_scenario(setup.trace.jobs, scenario, seed=seed)
+    """Simulate ``setup``'s trace under one scheme (and speed-up scenario).
+
+    ``scenario=None`` is equivalent to ``"none"``: the jobs' speed-ups
+    are always (re)assigned, so a setup reused across runs — the worker
+    setup cache in :mod:`repro.experiments.grid` does this — cannot leak
+    a previous scenario's speed-ups into a scenario-free run.
+    """
+    apply_scenario(setup.trace.jobs, scenario or "none", seed=seed)
     allocator = make_allocator(scheme, setup.tree, **allocator_kwargs)
     sim = Simulator(
         allocator,
         backfill_window=backfill_window,
         reservation_policy=reservation_policy,
+        backfill_policy=backfill_policy,
+        estimate_factor=estimate_factor,
+        queue_order=queue_order,
     )
     return sim.run(setup.trace)

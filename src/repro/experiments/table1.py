@@ -4,24 +4,33 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import ALL_TRACE_NAMES, paper_setup
+from repro.experiments.grid import cell, run_sim_grid, setup_for
 from repro.experiments.report import render_table
+from repro.experiments.runner import ALL_TRACE_NAMES
+
+
+def _table1_cell(
+    trace: str, scale: Optional[float] = None, seed: int = 0
+) -> Dict[str, object]:
+    """Grid task: one trace's Table 1 row (trace building dominates)."""
+    setup = setup_for(trace, scale=scale, seed=seed)
+    row = setup.trace.stats().as_row()
+    row["Sim cluster nodes"] = setup.tree.num_nodes
+    return row
 
 
 def table1_traces(
     names: Sequence[str] = ALL_TRACE_NAMES,
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Regenerate Table 1's rows for the (possibly scaled) traces."""
-    rows: Dict[str, Dict[str, object]] = {}
-    for name in names:
-        setup = paper_setup(name, scale=scale, seed=seed)
-        stats = setup.trace.stats()
-        row = stats.as_row()
-        row["Sim cluster nodes"] = setup.tree.num_nodes
-        rows[name] = row
-    return rows
+    cells = [
+        cell(_table1_cell, trace=name, scale=scale, seed=seed) for name in names
+    ]
+    rows = run_sim_grid(cells, workers=workers)
+    return dict(zip(names, rows))
 
 
 def render(rows: Dict[str, Dict[str, object]]) -> str:

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
 from repro.sched.metrics import INSTANT_BINS
 
 TABLE2_SCHEMES = ("laas", "jigsaw", "ta")
@@ -24,14 +24,18 @@ def table2_instantaneous(
     trace_name: str = "Thunder",
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, int]]:
     """Histogram counts per scheme (Table 2's rows)."""
-    setup = paper_setup(trace_name, scale=scale, seed=seed)
-    rows: Dict[str, Dict[str, int]] = {}
-    for scheme in TABLE2_SCHEMES:
-        result = run_scheme(setup, scheme, seed=seed)
-        rows[scheme] = result.instant.as_row()
-    return rows
+    cells = [
+        sim_cell(trace=trace_name, scheme=scheme, scale=scale, seed=seed)
+        for scheme in TABLE2_SCHEMES
+    ]
+    results = run_sim_grid(cells, workers=workers)
+    return {
+        scheme: result.instant.as_row()
+        for scheme, result in zip(TABLE2_SCHEMES, results)
+    }
 
 
 def render(rows: Dict[str, Dict[str, int]]) -> str:

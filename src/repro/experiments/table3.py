@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.experiments.grid import run_sim_grid, sim_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import paper_setup, run_scheme
 
 TABLE3_TRACES = ("Synth-16", "Sep-Cab", "Thunder", "Synth-28")
 TABLE3_SCHEMES = ("ta", "laas", "jigsaw", "lc+s")
@@ -25,6 +25,7 @@ def table3_with_cache(
     schemes: Sequence[str] = TABLE3_SCHEMES,
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Tuple[Dict[str, Dict[str, float]], Dict[str, Dict[str, str]]]:
     """Table 3 plus the allocator feasibility-cache counters, from the
     same simulation runs.
@@ -33,12 +34,17 @@ def table3_with_cache(
     allocator seconds per job; ``cache_rows`` is scheme -> trace ->
     ``"hit%  (hits/lookups)"``.
     """
+    cells = [
+        sim_cell(trace=name, scheme=scheme, scale=scale, seed=seed)
+        for name in trace_names
+        for scheme in schemes
+    ]
+    results = iter(run_sim_grid(cells, workers=workers))
     rows: Dict[str, Dict[str, float]] = {scheme: {} for scheme in schemes}
     cache_rows: Dict[str, Dict[str, str]] = {scheme: {} for scheme in schemes}
     for name in trace_names:
-        setup = paper_setup(name, scale=scale, seed=seed)
         for scheme in schemes:
-            result = run_scheme(setup, scheme, seed=seed)
+            result = next(results)
             rows[scheme][name] = result.mean_sched_time_per_job
             lookups = result.cache_hits + result.cache_misses
             cache_rows[scheme][name] = (
@@ -53,9 +59,10 @@ def table3_scheduling_time(
     schemes: Sequence[str] = TABLE3_SCHEMES,
     scale: Optional[float] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Mean allocator wall-clock seconds per job: scheme -> trace -> s."""
-    return table3_with_cache(trace_names, schemes, scale, seed)[0]
+    return table3_with_cache(trace_names, schemes, scale, seed, workers)[0]
 
 
 def render(rows: Dict[str, Dict[str, float]]) -> str:

@@ -18,6 +18,7 @@ flow sets over a job's allocated nodes:
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.core.allocator import Allocation
@@ -82,5 +83,9 @@ def pattern_flows(
         raise ValueError(
             f"unknown pattern {pattern!r}; expected one of {sorted(PATTERNS)}"
         ) from None
-    rng = random.Random((seed, alloc.job_id, pattern).__hash__())
+    # Mix the key with crc32, not hash(): tuple/str hashes depend on
+    # PYTHONHASHSEED, so the "seeded" flows would differ between Python
+    # processes (and the measured slowdowns with them).
+    key = zlib.crc32(f"{seed}|{alloc.job_id}|{pattern}".encode())
+    rng = random.Random(key)
     return fn(sorted(alloc.nodes), rng)

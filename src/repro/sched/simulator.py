@@ -68,6 +68,11 @@ class Simulator:
     #: arrival order.
     QUEUE_ORDERS = ("fifo", "sjf", "smallest", "largest")
 
+    #: minimum number of stale priority-heap entries before an eager
+    #: compaction is considered (tests lower this to force compaction;
+    #: the schedule must not change either way)
+    PHEAP_COMPACT_MIN = 16
+
     def __init__(
         self,
         allocator: Allocator,
@@ -124,6 +129,7 @@ class Simulator:
         #: so tests can assert the queue stays bounded on long traces
         self.peak_queue_len = 0
         self.peak_started_out_of_order = 0
+        self.peak_pheap_stale = 0
 
     # ------------------------------------------------------------------
     def run(self, trace, trace_name: Optional[str] = None) -> SimResult:
@@ -133,6 +139,7 @@ class Simulator:
         self._sticky = None
         self.peak_queue_len = 0
         self.peak_started_out_of_order = 0
+        self.peak_pheap_stale = 0
         tree = self.allocator.tree
         for job in jobs:
             job.reset()
@@ -156,6 +163,10 @@ class Simulator:
         #: priority heap used instead of the FIFO list for non-FIFO orders
         pheap: List[Tuple[float, int, Job]] = []
         started_out_of_order: set = set()
+        #: stale pheap entries (jobs that already started out of order);
+        #: in priority mode ``started_out_of_order`` holds exactly the
+        #: ids of these entries, so the two counts track together
+        pheap_stale = 0
         pending = 0
         running: Dict[int, Tuple[float, int]] = {}
         cur_busy = 0  # requested nodes currently computing
@@ -230,10 +241,36 @@ class Simulator:
             pending += 1
 
         def note_started_out_of_order(job_id: int) -> None:
+            nonlocal pheap_stale
             started_out_of_order.add(job_id)
             self.peak_started_out_of_order = max(
                 self.peak_started_out_of_order, len(started_out_of_order)
             )
+            if priority_key is not None:
+                pheap_stale += 1
+                self.peak_pheap_stale = max(self.peak_pheap_stale, pheap_stale)
+                compact_pheap()
+
+        def compact_pheap() -> None:
+            """Rebuild the priority heap without its stale entries once
+            they dominate it.  Amortized O(1) per event; pure
+            bookkeeping — the set of live entries (and hence every
+            scheduling decision) is unchanged.  Without this, each
+            ``window_candidates`` snapshot pays O(Q log Q) as the stale
+            share grows on long traces."""
+            nonlocal pheap_stale
+            if (
+                pheap_stale < self.PHEAP_COMPACT_MIN
+                or pheap_stale * 2 < len(pheap)
+            ):
+                return
+            live = [e for e in pheap if e[2].id not in started_out_of_order]
+            started_out_of_order.difference_update(
+                e[2].id for e in pheap if e[2].id in started_out_of_order
+            )
+            pheap[:] = live
+            heapq.heapify(pheap)
+            pheap_stale = 0
 
         def prune_fifo_front() -> None:
             """Advance ``head`` past jobs that already started out of
@@ -251,12 +288,14 @@ class Simulator:
                 head = 0
 
         def peek_head() -> Optional[Job]:
+            nonlocal pheap_stale
             if priority_key is None:
                 prune_fifo_front()
                 return queue[head] if head < len(queue) else None
             while pheap and pheap[0][2].id in started_out_of_order:
                 started_out_of_order.discard(pheap[0][2].id)
                 heapq.heappop(pheap)
+                pheap_stale -= 1
             return pheap[0][2] if pheap else None
 
         def advance_head() -> None:
@@ -282,12 +321,23 @@ class Simulator:
                     yielded += 1
                     yield cand
                 return
-            take = self.backfill_window + 1 + len(started_out_of_order)
+            # At most ``pheap_stale`` of the snapshot entries are dead,
+            # so this take still covers the head plus a full window of
+            # live candidates; eager compaction keeps it O(window).
+            take = self.backfill_window + 1 + pheap_stale
             snapshot = heapq.nsmallest(take, pheap)
+            # Freeze the dead ids now: a backfill started mid-iteration
+            # may trigger a compaction that removes them from the live
+            # set, and a snapshot entry must not come back to life.
+            # (Jobs started *during* this pass never need the check —
+            # each snapshot entry is yielded at most once.)
+            dead = started_out_of_order.intersection(
+                e[2].id for e in snapshot
+            )
             yielded = 0
             skipped_head = False
             for _, _, cand in snapshot:
-                if cand.id in started_out_of_order:
+                if cand.id in dead:
                     continue
                 if not skipped_head:
                     skipped_head = True  # the head itself is not a candidate

@@ -1,0 +1,196 @@
+"""The parallel experiment-grid engine: determinism, caching, fallback.
+
+The engine's contract: (1) serial and parallel runs of the same grid
+produce identical tables — byte-identical once rendered; (2) workers
+cache the expensive trace/tree setup per process instead of rebuilding
+it per cell; (3) ``workers=1`` (the default) never spawns a pool; and
+(4) a setup reused across cells cannot leak one cell's speed-up
+scenario into the next.
+"""
+
+import pytest
+
+from repro.experiments import fig6, fig8, grid
+from repro.experiments.grid import (
+    GridCell,
+    cell,
+    resolve_workers,
+    run_grid,
+    run_sim_grid,
+    sim_cell,
+)
+from repro.experiments.runner import paper_setup, run_scheme
+
+TINY = 0.003
+
+
+@pytest.fixture(autouse=True)
+def fresh_setup_cache():
+    grid.clear_setup_cache()
+    yield
+    grid.clear_setup_cache()
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+        # the explicit argument wins over the environment
+        assert resolve_workers(2) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestCellConstruction:
+    def test_sim_cell_is_picklable_data(self):
+        c = sim_cell(trace="Synth-16", scheme="jigsaw", scale=TINY)
+        assert isinstance(c, GridCell)
+        assert c.task == "repro.experiments.grid:_sim_task"
+        assert c.params["trace"] == "Synth-16"
+
+    def test_rejects_non_module_level_callables(self):
+        with pytest.raises(ValueError):
+            cell(lambda: None)
+
+
+class TestOrderingAndEquivalence:
+    def test_results_come_back_in_cell_order(self):
+        cells = [
+            sim_cell(trace="Synth-16", scheme=scheme, scale=TINY)
+            for scheme in ("baseline", "jigsaw", "ta")
+        ]
+        results = run_sim_grid(cells, workers=2)
+        assert [r.scheme for r in results] == ["baseline", "jigsaw", "ta"]
+
+    def test_fig6_serial_equals_parallel(self):
+        kwargs = dict(
+            names=["Synth-16"], schemes=("baseline", "jigsaw"), scale=TINY
+        )
+        serial = fig6.fig6_utilization(workers=1, **kwargs)
+        parallel = fig6.fig6_utilization(workers=2, **kwargs)
+        assert serial == parallel  # exact float equality, not approx
+        assert fig6.render(serial) == fig6.render(parallel)
+
+    def test_fig8_serial_equals_parallel(self):
+        kwargs = dict(
+            trace_names=("Thunder",),
+            schemes=("jigsaw", "ta"),
+            scenarios=("none", "20%"),
+            scale=TINY,
+        )
+        serial = fig8.fig8_makespan(workers=1, **kwargs)
+        parallel = fig8.fig8_makespan(workers=2, **kwargs)
+        assert serial == parallel
+        assert fig8.render(serial) == fig8.render(parallel)
+
+
+class TestSetupCache:
+    def test_setup_built_once_per_key(self):
+        cells = [
+            sim_cell(trace="Synth-16", scheme=scheme, scale=TINY)
+            for scheme in ("baseline", "jigsaw", "ta")
+        ]
+        outcomes = run_grid(cells, workers=1)
+        assert outcomes[0].setup_cache_misses == 1
+        assert outcomes[0].setup_cache_hits == 0
+        for outcome in outcomes[1:]:
+            assert outcome.setup_cache_hits == 1
+            assert outcome.setup_cache_misses == 0
+        stats = grid.setup_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 2
+
+    def test_distinct_keys_miss(self):
+        cells = [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=TINY, seed=s)
+            for s in (0, 1)
+        ]
+        outcomes = run_grid(cells, workers=1)
+        assert [o.setup_cache_misses for o in outcomes] == [1, 1]
+
+    def test_cached_setup_replays_identically(self):
+        fresh = run_scheme(
+            paper_setup("Synth-16", scale=TINY), "jigsaw"
+        )
+        cells = [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=TINY)
+            for _ in range(2)
+        ]
+        first, second = run_sim_grid(cells, workers=1)
+        for result in (first, second):
+            assert result.makespan == fresh.makespan
+            assert result.jobs == fresh.jobs
+
+
+class TestSerialFallback:
+    def test_workers_one_never_spawns_a_pool(self, monkeypatch):
+        import concurrent.futures as cf
+
+        def boom(*args, **kwargs):
+            raise AssertionError("workers=1 must not create a process pool")
+
+        monkeypatch.setattr(cf, "ProcessPoolExecutor", boom)
+        cells = [sim_cell(trace="Synth-16", scheme="baseline", scale=TINY)]
+        results = run_sim_grid(cells, workers=1)
+        assert results[0].scheme == "baseline"
+
+    def test_env_workers_flow_through_run_grid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        cells = [
+            sim_cell(trace="Synth-16", scheme=s, scale=TINY)
+            for s in ("baseline", "jigsaw")
+        ]
+        results = run_sim_grid(cells)  # workers resolved from the env
+        assert [r.scheme for r in results] == ["baseline", "jigsaw"]
+
+
+class TestScenarioLeakage:
+    def test_scenario_none_resets_speedups(self):
+        # Regression: reusing an ExperimentSetup after a scenario run
+        # used to leak the stale job.speedup values into a supposedly
+        # scenario-free run (scenario=None skipped apply_scenario).
+        setup = paper_setup("Synth-16", scale=TINY)
+        clean = run_scheme(paper_setup("Synth-16", scale=TINY), "jigsaw")
+        sped = run_scheme(setup, "jigsaw", scenario="20%")
+        assert sped.makespan < clean.makespan
+        again = run_scheme(setup, "jigsaw", scenario=None)
+        assert all(job.speedup == 0.0 for job in setup.trace.jobs)
+        assert again.makespan == clean.makespan
+        assert again.jobs == clean.jobs
+
+    def test_grid_cells_isolated_from_scenario_order(self):
+        # A scenario cell before a scenario-free cell on the same cached
+        # setup must not change the scenario-free result.
+        cells = [
+            sim_cell(trace="Synth-16", scheme="jigsaw", scenario="20%",
+                     scale=TINY),
+            sim_cell(trace="Synth-16", scheme="jigsaw", scale=TINY),
+        ]
+        _, unsped = run_sim_grid(cells, workers=1)
+        fresh = run_scheme(paper_setup("Synth-16", scale=TINY), "jigsaw")
+        assert unsped.jobs == fresh.jobs
+
+
+class TestCustomTasks:
+    def test_table1_and_extension_rows_match_serial(self):
+        from repro.experiments import table1
+        from repro.experiments.figslowdown import slowdown_comparison
+
+        serial = table1.table1_traces(names=["Synth-16"], scale=TINY)
+        parallel = table1.table1_traces(
+            names=["Synth-16"], scale=TINY, workers=2
+        )
+        assert serial == parallel
+
+        rows_serial = slowdown_comparison(
+            radix=4, occupancy=0.6, patterns=("shift",), seeds=(0,)
+        )
+        rows_parallel = slowdown_comparison(
+            radix=4, occupancy=0.6, patterns=("shift",), seeds=(0,), workers=2
+        )
+        assert rows_serial == rows_parallel

@@ -77,6 +77,86 @@ class TestBoundedQueueBookkeeping:
         )
         assert sim.peak_queue_len < 200
 
+    def _backfill_heavy_trace(self):
+        # Every round a blocker occupies the machine, a same-size job
+        # waits as the blocked head, and two small-but-long jobs sort
+        # *behind* the head under "largest" (by size) and "sjf" (by
+        # estimate) yet fit the spare nodes — so they backfill, leaving
+        # two stale priority-heap entries per round.
+        jobs = []
+        jid = 0
+        for r in range(150):
+            t = r * 30.0
+            jid += 1
+            jobs.append(Job(id=jid, size=120, runtime=10.0, arrival=t))
+            jid += 1
+            jobs.append(Job(id=jid, size=120, runtime=5.0, arrival=t + 1.0))
+            for k in range(2):
+                jid += 1
+                jobs.append(
+                    Job(id=jid, size=4, runtime=12.0, arrival=t + 1.5 + 0.1 * k)
+                )
+        return jobs
+
+    def test_priority_heap_stale_entries_stay_bounded(self, tree):
+        # Before the eager compaction, backfilled jobs lingered in the
+        # priority heap until they surfaced at the top, and every
+        # scheduling pass paid heapq.nsmallest(window + 1 + stale) —
+        # O(Q log Q) as the stale share grew.
+        jobs = self._backfill_heavy_trace()
+        log = ScheduleLog()
+        sim = Simulator(
+            BaselineAllocator(tree), queue_order="largest", event_log=log
+        )
+        result = sim.run(jobs)
+        assert len(result.jobs) == len(jobs)
+        # Backfills must actually have happened for this test to bite.
+        assert log.start_mechanisms()["backfill"] >= 100
+        assert sim.peak_pheap_stale <= 2 * Simulator.PHEAP_COMPACT_MIN, (
+            f"stale priority-heap entries grew to {sim.peak_pheap_stale}"
+        )
+
+    def test_priority_heap_compaction_is_decision_invariant(self, tree):
+        # Forcing a compaction after every backfill must not change a
+        # single scheduling decision relative to never compacting (the
+        # pre-fix behavior).
+        jobs = self._backfill_heavy_trace()
+        for order in ("largest", "sjf"):
+            lazy = Simulator(BaselineAllocator(tree), queue_order=order)
+            lazy.PHEAP_COMPACT_MIN = 10**9  # never compact eagerly
+            eager = Simulator(BaselineAllocator(tree), queue_order=order)
+            eager.PHEAP_COMPACT_MIN = 1  # compact at every opportunity
+            result_lazy = lazy.run(jobs)
+            result_eager = eager.run(jobs)
+            assert result_lazy.jobs == result_eager.jobs, order
+            assert result_lazy.makespan == result_eager.makespan, order
+
+    def test_compaction_mid_backfill_pass_cannot_revive_entries(self, tree):
+        # Regression: a compaction triggered by a backfill *inside* a
+        # window_candidates pass used to remove old stale ids from the
+        # tracking set while they were still in the pass's snapshot —
+        # the snapshot entry then looked live and its (long-finished)
+        # job was started a second time, silently losing other jobs.
+        # A dense all-at-zero mixed-size queue under a *constrained*
+        # allocator (fragmentation blocks the head while backfills keep
+        # landing) keeps many stale entries interleaved with live ones
+        # inside a single snapshot.
+        from repro.core.jigsaw import JigsawAllocator
+
+        jobs = [
+            Job(id=i, size=(i * 5) % 30 + 1, runtime=5.0 + i % 7)
+            for i in range(200)
+        ]
+        for order in ("sjf", "smallest", "largest"):
+            lazy = Simulator(JigsawAllocator(tree), queue_order=order)
+            lazy.PHEAP_COMPACT_MIN = 10**9
+            eager = Simulator(JigsawAllocator(tree), queue_order=order)
+            eager.PHEAP_COMPACT_MIN = 1
+            result_lazy = lazy.run(jobs)
+            result_eager = eager.run(jobs)
+            assert len(result_eager.jobs) == len(jobs), order
+            assert result_lazy.jobs == result_eager.jobs, order
+
 
 class TestUnscheduledJobs:
     def test_unscheduled_ids_and_log(self, tree):

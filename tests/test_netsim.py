@@ -54,6 +54,37 @@ class TestPatterns:
             alloc, "permutation", seed=5
         )
 
+    def test_deterministic_across_processes(self):
+        # Regression: the rng used to be seeded with hash() of a tuple
+        # containing the pattern *string*, which varies with
+        # PYTHONHASHSEED — so every Python process sampled different
+        # flows for the same (seed, job, pattern) and the measured
+        # slowdowns flickered between runs.
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.core.registry import make_allocator\n"
+            "from repro.netsim import pattern_flows\n"
+            "from repro.topology.fattree import FatTree\n"
+            "alloc = make_allocator('jigsaw', FatTree.from_radix(8))"
+            ".allocate(1, 12)\n"
+            "for p in ('permutation', 'shift', 'alltoall_sample'):\n"
+            "    print(pattern_flows(alloc, p, seed=3))\n"
+        )
+        outputs = []
+        for hashseed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = "src"
+            outputs.append(
+                subprocess.run(
+                    [sys.executable, "-c", script],
+                    capture_output=True, text=True, env=env, check=True,
+                ).stdout
+            )
+        assert outputs[0] == outputs[1]
+
     def test_unknown_pattern(self, alloc):
         with pytest.raises(ValueError):
             pattern_flows(alloc, "butterfly")
