@@ -15,12 +15,23 @@ runs the grid serially and across a 2-worker process pool and asserts
 the fingerprints are identical — the grid engine's core guarantee.
 ``--workers N`` fingerprints through an N-worker pool (for diffing a
 parallel dump against a serial one).
+
+Allocator invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --vs-naive [--scale 0.02]
+
+runs every scheme twice — once on the incremental occupancy indexes
+and once on the naive recompute-per-call search paths
+(``REPRO_NAIVE_SEARCH=1``) — and asserts byte-identical decisions.
+``--compare FILE`` instead checks the current code against a previously
+written dump and prints ``FINGERPRINTS-IDENTICAL`` on a match.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sys
 from typing import Optional
 
@@ -80,6 +91,56 @@ def selfcheck(scale: float, workers: int = 2) -> None:
     )
 
 
+def _diff(label_a: str, a: dict, label_b: str, b: dict) -> int:
+    """Print mismatching fingerprints; return the mismatch count."""
+    mismatches = [key for key in a if a[key] != b.get(key)]
+    mismatches += [key for key in b if key not in a]
+    for key in mismatches:
+        print(f"MISMATCH {key}:")
+        print(f"  {label_a}: {a.get(key)}")
+        print(f"  {label_b}: {b.get(key)}")
+    return len(mismatches)
+
+
+def vs_naive(scale: float) -> None:
+    """Assert the indexed and naive allocator search paths decide
+    identically — the decision-invariance contract of the incremental
+    occupancy indexes."""
+    prev = os.environ.pop("REPRO_NAIVE_SEARCH", None)
+    try:
+        indexed = fingerprint(scale)
+        os.environ["REPRO_NAIVE_SEARCH"] = "1"
+        naive = fingerprint(scale)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_NAIVE_SEARCH", None)
+        else:
+            os.environ["REPRO_NAIVE_SEARCH"] = prev
+    bad = _diff("indexed", indexed, "naive", naive)
+    if bad:
+        raise SystemExit(
+            f"indexed vs naive fingerprints differ "
+            f"({bad} of {len(indexed)} runs)"
+        )
+    print(
+        f"vs-naive ok: {len(indexed)} fingerprints identical "
+        f"(indexed vs naive search, scale {scale})"
+    )
+
+
+def compare(path: str, scale: float, workers: Optional[int]) -> None:
+    """Fingerprint the current code and diff against a saved dump."""
+    with open(path) as fh:
+        saved = json.load(fh)
+    current = fingerprint(scale, workers=workers)
+    bad = _diff("saved", saved, "current", current)
+    if bad:
+        raise SystemExit(
+            f"FINGERPRINTS-DIFFER ({bad} of {len(current)} runs vs {path})"
+        )
+    print(f"FINGERPRINTS-IDENTICAL ({len(current)} runs vs {path})")
+
+
 if __name__ == "__main__":
     scale = 0.02
     if "--scale" in sys.argv:
@@ -89,6 +150,12 @@ if __name__ == "__main__":
         workers = int(sys.argv[sys.argv.index("--workers") + 1])
     if "--selfcheck" in sys.argv:
         selfcheck(scale, workers=workers or 2)
+        sys.exit(0)
+    if "--vs-naive" in sys.argv:
+        vs_naive(scale)
+        sys.exit(0)
+    if "--compare" in sys.argv:
+        compare(sys.argv[sys.argv.index("--compare") + 1], scale, workers)
         sys.exit(0)
     path = sys.argv[1]
     data = fingerprint(scale, workers=workers)

@@ -8,12 +8,23 @@ simulation overhead, and tracks regressions in the search code.
 """
 
 import random
+import time
 
 import pytest
 
 from repro import FatTree, make_allocator
 
 SIZES = [1, 3, 5, 8, 13, 20, 33, 48, 70]
+
+
+def _counters(allocator) -> str:
+    """Search-effort and cache counters, one line per bench run."""
+    s = allocator.stats
+    return (
+        f"pruned={s.pods_pruned} cand={s.candidate_hits} "
+        f"memo={s.memo_hits} steps={s.backtrack_steps} "
+        f"cache={s.cache_hits}/{s.cache_hits + s.cache_misses}"
+    )
 
 
 def _prefill(allocator, occupancy: float, seed: int = 7):
@@ -41,6 +52,7 @@ def bench_allocate_release(benchmark, scheme):
             allocator.release(job_id[0])
 
     benchmark(one_cycle)
+    print(f"\n[{scheme}] search effort: {_counters(allocator)}")
 
 
 @pytest.mark.parametrize("radix", [16, 18, 22, 28])
@@ -57,3 +69,65 @@ def bench_jigsaw_by_cluster_size(benchmark, radix):
             allocator.release(job_id[0])
 
     benchmark(one_cycle)
+    print(f"\n[jigsaw r{radix}] search effort: {_counters(allocator)}")
+
+
+def bench_allocator_micro_summary(save_result):
+    """Indexed vs naive per-cycle cost, with the search-effort counters.
+
+    Times one allocate/release cycle with ``perf_counter`` (the
+    pytest-benchmark fixtures above track regressions; this one writes
+    the committed before/after record) and saves it under
+    ``benchmarks/results/allocator_micro.txt``.  Radix 28 is the paper's
+    largest cluster (Synth-28).
+    """
+    lines = [
+        "Allocator micro-benchmark: one allocate/release cycle at 85% "
+        "occupancy,",
+        "incremental occupancy indexes vs naive recompute-per-call "
+        "search (us/cycle).",
+        "Counters are the indexed run's totals (prefill + timed cycles).",
+        "",
+    ]
+    for radix, schemes, cycles in (
+        (18, ("baseline", "ta", "laas", "jigsaw", "lc+s"), 300),
+        (28, ("jigsaw", "lc+s"), 60),
+    ):
+        for scheme in schemes:
+            per_cycle = {}
+            counters = ""
+            for naive in (False, True):
+                tree = FatTree.from_radix(radix)
+                allocator = make_allocator(scheme, tree)
+                if naive:
+                    allocator.use_indexes = False
+                _prefill(allocator, occupancy=0.85)
+                size = 13 if radix == 18 else 2 * tree.m1 + 3
+                job_id = [10**6]
+
+                def one_cycle():
+                    job_id[0] += 1
+                    if allocator.allocate(job_id[0], size) is not None:
+                        allocator.release(job_id[0])
+
+                one_cycle()  # warm-up
+                t0 = time.perf_counter()
+                for _ in range(cycles):
+                    one_cycle()
+                per_cycle["naive" if naive else "indexed"] = (
+                    1e6 * (time.perf_counter() - t0) / cycles
+                )
+                if not naive:
+                    counters = _counters(allocator)
+            speedup = (
+                per_cycle["naive"] / per_cycle["indexed"]
+                if per_cycle["indexed"]
+                else float("inf")
+            )
+            lines.append(
+                f"radix {radix:>2} {scheme:>8}: "
+                f"indexed {per_cycle['indexed']:8.1f} us  "
+                f"naive {per_cycle['naive']:8.1f} us  "
+                f"({speedup:4.1f}x)  [{counters}]"
+            )
+    save_result("allocator_micro", "\n".join(lines))

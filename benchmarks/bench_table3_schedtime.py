@@ -5,22 +5,25 @@ magnitude of each other; LC+S is at least several times slower than
 Jigsaw everywhere and degrades with cluster size (Synth-28's 5488-node
 cluster is its worst case, as in the paper).
 
-Also saves the allocator feasibility-cache companion table: per run,
+Also saves the allocator feasibility-cache companion table (per run,
 the share of allocate()/can_allocate() lookups answered from the
-cross-pass infeasibility cache instead of a full search.
+cross-pass infeasibility cache instead of a full search) and the
+search-effort companion table (pods pruned by the occupancy prefilter,
+candidate-list/memo hits, backtracking steps).
 """
 
 from repro.experiments import table3
 
 
 def bench_table3(benchmark, save_result, scale):
-    rows, cache_rows = benchmark.pedantic(
-        lambda: table3.table3_with_cache(scale=scale),
+    rows, cache_rows, search_rows = benchmark.pedantic(
+        lambda: table3.table3_full(scale=scale),
         rounds=1,
         iterations=1,
     )
     save_result("table3_schedtime", table3.render(rows))
     save_result("table3_cache", table3.render_cache(cache_rows))
+    save_result("table3_search", table3.render_search(search_rows))
 
     for trace in table3.TABLE3_TRACES:
         assert rows["lc+s"][trace] > 3 * rows["jigsaw"][trace], rows

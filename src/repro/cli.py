@@ -159,12 +159,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_names=args.traces, scale=scale, seed=args.seed,
             workers=workers)))
     elif args.command == "table3":
-        rows, cache_rows = table3.table3_with_cache(scale=scale,
-                                                    seed=args.seed,
-                                                    workers=workers)
+        rows, cache_rows, search_rows = table3.table3_full(
+            scale=scale, seed=args.seed, workers=workers)
         print(table3.render(rows))
         print()
         print(table3.render_cache(cache_rows))
+        print()
+        print(table3.render_search(search_rows))
     elif args.command == "simulate":
         setup = paper_setup(args.trace, scale=scale, seed=args.seed)
         result = run_scheme(setup, args.scheme, scenario=args.scenario,
@@ -174,6 +175,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         lookups = result.cache_hits + result.cache_misses
         print(f"feasibility cache: {result.cache_hits}/{lookups} lookups "
               f"served from cache ({100 * result.cache_hit_rate:.1f}%)")
+        print(f"search effort: {result.pods_pruned} pods pruned, "
+              f"{result.candidate_hits} candidate-list hits, "
+              f"{result.memo_hits} memo hits, "
+              f"{result.backtrack_steps} backtracking steps")
         from repro.experiments.report import render_sparkline
         from repro.sched.metrics import utilization_timeline
 

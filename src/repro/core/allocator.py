@@ -80,6 +80,17 @@ class AllocatorStats:
     cache_misses: int = 0
     #: times the cache was flushed because free capacity grew
     cache_invalidations: int = 0
+    #: pods rejected by the vectorized occupancy prefilter before any
+    #: per-pod search work was spent on them
+    pods_pruned: int = 0
+    #: per-pod candidate lists served from the maintained bucket order
+    #: instead of a fresh sorted() call
+    candidate_hits: int = 0
+    #: per-search negative-memo consultations that skipped a repeated
+    #: per-pod sub-search (LC family)
+    memo_hits: int = 0
+    #: budgeted backtracking steps actually executed across all searches
+    backtrack_steps: int = 0
 
     def record(self, success: bool, seconds: float) -> None:
         self.attempts += 1

@@ -53,6 +53,11 @@ class FragmentationSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    #: allocator search-effort counters at snapshot time
+    pods_pruned: int = 0
+    candidate_hits: int = 0
+    memo_hits: int = 0
+    backtrack_steps: int = 0
 
     @property
     def free_fraction(self) -> float:
@@ -93,6 +98,10 @@ class FragmentationSnapshot:
             f"{self.cache_misses} misses "
             f"({100 * self.cache_hit_rate:.1f}% hit rate, "
             f"{self.cache_invalidations} invalidations)",
+            f"search effort: {self.pods_pruned} pods pruned, "
+            f"{self.candidate_hits} candidate-list hits, "
+            f"{self.memo_hits} memo hits, "
+            f"{self.backtrack_steps} backtracking steps",
         ]
         return "\n".join(lines)
 
@@ -122,6 +131,12 @@ def fragmentation_snapshot(
     stats = allocator.stats
     hits, misses, invalidations = (
         stats.cache_hits, stats.cache_misses, stats.cache_invalidations,
+    )
+    # Like the cache counters: snapshot before the probe sweep below
+    # adds its own search effort.
+    pruned, cand, memo, steps = (
+        stats.pods_pruned, stats.candidate_hits,
+        stats.memo_hits, stats.backtrack_steps,
     )
     free = state.free_nodes_total
     fully_free = int(state.full_free_leaves.sum())
@@ -159,6 +174,10 @@ def fragmentation_snapshot(
         cache_hits=hits,
         cache_misses=misses,
         cache_invalidations=invalidations,
+        pods_pruned=pruned,
+        candidate_hits=cand,
+        memo_hits=memo,
+        backtrack_steps=steps,
     )
 
 

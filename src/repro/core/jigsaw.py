@@ -26,7 +26,7 @@ reduction-to-two-levels described in section 5.2.1.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.allocator import Allocation, Allocator
 from repro.core.shapes import (
@@ -56,6 +56,14 @@ class JigsawAllocator(Allocator):
     name = "jigsaw"
     isolating = True
 
+    #: read feasibility summaries from the ClusterState incremental
+    #: occupancy indexes (vectorized pod prefilter, maintained candidate
+    #: order, O(1) best-fit picks).  ``False`` falls back to the naive
+    #: recompute-per-call scans; both paths make byte-identical decisions
+    #: — the equivalence tests and ``benchmarks/_fingerprint.py`` hold
+    #: them to that.
+    use_indexes: bool = True
+
     #: backtracking-step ceiling per allocation attempt; generous enough
     #: that Jigsaw never hits it in practice (its search space is small —
     #: that is the point of the full-leaf restriction), but it bounds
@@ -73,15 +81,34 @@ class JigsawAllocator(Allocator):
         self.strategy = strategy
         self._steps_left = self.step_budget
         self._budget_exhausted = False
+        # Per-_search negative/positive memo for repeated per-pod
+        # sub-searches (used by the LC family, cleared at every search).
+        self._pod_memo: Dict[Tuple[int, int, int, int], tuple] = {}
 
     class BudgetExhausted(Exception):
         """Raised internally when a search exceeds its step budget."""
 
     def _tick(self) -> None:
         """Account one backtracking step; abort the search when spent."""
+        self.stats.backtrack_steps += 1
         self._steps_left -= 1
         if self._steps_left <= 0:
             raise self.BudgetExhausted()
+
+    def _charge(self, steps: int) -> None:
+        """Account ``steps`` backtracking steps at once (memo replay).
+
+        A memo hit must leave the budget exactly where re-running the
+        memoized sub-search would have left it — including raising
+        :class:`BudgetExhausted` at the same instant — or the LC+S
+        timeout would fire at different points and change decisions.
+        Replayed steps are *not* re-counted in ``stats.backtrack_steps``:
+        that counter reports work actually executed.
+        """
+        if steps:
+            self._steps_left -= steps
+            if self._steps_left <= 0:
+                raise self.BudgetExhausted()
 
     # ------------------------------------------------------------------
     # Shape enumeration hooks (overridden by LaaS)
@@ -112,6 +139,7 @@ class JigsawAllocator(Allocator):
         if alloc_size > self.state.free_nodes_total:
             return None
         self._steps_left = self.step_budget
+        self._pod_memo.clear()
         try:
             # Look for a single-subtree allocation first.
             found = self._search_two_level(alloc_size)
@@ -145,21 +173,16 @@ class JigsawAllocator(Allocator):
         either way; scoring only chooses *among* legal placements, which
         is exactly the freedom the paper argues precise conditions buy.
         """
-        pod_free = self.state.pod_free
         if self.strategy == "first":
             for shape in self._two_level_shape_iter(alloc_size):
-                for pod in range(self.tree.num_pods):
-                    if pod_free[pod] < alloc_size:
-                        continue
+                for pod in self._two_level_pods(alloc_size, shape):
                     found = self._find_two_level_in_pod(pod, shape)
                     if found is not None:
                         return shape, found
             return None
         best = None  # (score, shape, solution)
         for shape in self._two_level_shape_iter(alloc_size):
-            for pod in range(self.tree.num_pods):
-                if pod_free[pod] < alloc_size:
-                    continue
+            for pod in self._two_level_pods(alloc_size, shape):
                 found = self._find_two_level_in_pod(pod, shape)
                 if found is None:
                     continue
@@ -197,6 +220,45 @@ class JigsawAllocator(Allocator):
             residue += f - shape.nrL
         return (broken, residue, consumed)
 
+    def _two_level_pods(self, alloc_size: int, shape: TwoLevelShape) -> List[int]:
+        """Pods worth searching for ``shape``, in ascending pod order.
+
+        The indexed path is one vectorized pass over the occupancy
+        counters: ``pod_free >= size`` and ``LT`` leaves with ``>= nL``
+        free nodes.  Both are exactly the *tick-free* rejections
+        :meth:`_find_two_level_in_pod` (and, for single-leaf shapes,
+        :meth:`_pick_single_leaf`) would perform — skipping those pods
+        costs no budget and changes no decision.
+        """
+        if self.use_indexes:
+            pods = self.state.feasible_pods(
+                alloc_size, shape.nL, shape.LT
+            ).tolist()
+            self.stats.pods_pruned += self.tree.num_pods - len(pods)
+            return pods
+        pod_free = self.state.pod_free
+        return [
+            p for p in range(self.tree.num_pods) if pod_free[p] >= alloc_size
+        ]
+
+    def _pod_candidates(self, pod: int, min_free: int) -> List[int]:
+        """Leaves of ``pod`` with at least ``min_free`` free nodes in
+        best-fit order (ascending free count, then leaf id).
+
+        The indexed path reads the maintained bucket order; the naive
+        path re-sorts per call.  Identical sequences by construction.
+        """
+        if self.use_indexes:
+            self.stats.candidate_hits += 1
+            return self.state.leaf_candidates(pod, min_free)
+        tree = self.tree
+        free = self.state.free_leaf_counts_in_pod(pod)
+        base = tree.first_leaf_of_pod(pod)
+        return sorted(
+            (base + k for k in range(tree.m2) if free[k] >= min_free),
+            key=lambda leaf: (free[leaf - base], leaf),
+        )
+
     # ------------------------------------------------------------------
     # find_L2: search one pod for a two-level allocation
     # ------------------------------------------------------------------
@@ -221,7 +283,6 @@ class JigsawAllocator(Allocator):
         tree = self.tree
         if state.pod_free[pod] < shape.size:
             return None
-        free = state.free_leaf_counts_in_pod(pod)
 
         # Whole job on one leaf: no links needed at all.
         if shape.single_leaf:
@@ -230,14 +291,10 @@ class JigsawAllocator(Allocator):
                 return None
             return [leaf], 0, None, 0
 
-        base = tree.first_leaf_of_pod(pod)
         # Best fit: try the leaves with the fewest (sufficient) free nodes
         # first, so partial leaves fill up before fully-free leaves are
         # broken — fully-free leaves are what three-level allocations need.
-        candidates = sorted(
-            (base + k for k in range(tree.m2) if free[k] >= shape.nL),
-            key=lambda leaf: (free[leaf - base], leaf),
-        )
+        candidates = self._pod_candidates(pod, shape.nL)
         if len(candidates) < shape.LT:
             return None
 
@@ -269,6 +326,8 @@ class JigsawAllocator(Allocator):
 
     def _pick_single_leaf(self, pod: int, n: int) -> Optional[int]:
         """Best-fit leaf in ``pod`` with at least ``n`` free nodes."""
+        if self.use_indexes:
+            return self.state.best_fit_leaf(pod, n)
         tree = self.tree
         free = self.state.free_leaf_counts_in_pod(pod)
         best: Optional[int] = None
@@ -286,28 +345,24 @@ class JigsawAllocator(Allocator):
         """Complete a two-level solution: pick S and the remainder leaf."""
         if shape.nrL == 0:
             return lowest_bits(inter, shape.nL), None, 0
-        tree = self.tree
-        free = self.state.free_leaf_counts_in_pod(pod)
-        base = tree.first_leaf_of_pod(pod)
         taken = set(chosen)
         # Best fit: prefer the eligible leaf with the fewest free nodes,
-        # preserving emptier leaves for future jobs.
-        best: Optional[Tuple[int, int, int]] = None  # (free, leaf, avail_mask)
-        for k in range(tree.m2):
-            leaf = base + k
+        # preserving emptier leaves for future jobs.  Walking the bucket
+        # order (ascending free count, then leaf id) and taking the first
+        # eligible leaf picks exactly the leaf the old min-scan chose:
+        # fewest free nodes, ties broken toward the lowest leaf id.
+        rem_leaf: Optional[int] = None
+        avail = 0
+        for leaf in self._pod_candidates(pod, shape.nrL):
             if leaf in taken:
                 continue
-            f = int(free[k])
-            if f < shape.nrL:
+            a = self._leaf_mask(leaf) & inter
+            if a.bit_count() < shape.nrL:
                 continue
-            avail = self._leaf_mask(leaf) & inter
-            if avail.bit_count() < shape.nrL:
-                continue
-            if best is None or f < best[0]:
-                best = (f, leaf, avail)
-        if best is None:
+            rem_leaf, avail = leaf, a
+            break
+        if rem_leaf is None:
             return None
-        _, rem_leaf, avail = best
         sr_mask = lowest_bits(avail, shape.nrL)
         # S contains Sr plus enough other common-free L2 indices.
         s_mask = sr_mask
@@ -335,10 +390,16 @@ class JigsawAllocator(Allocator):
         if shape.nL != tree.m1:
             raise ValueError("Jigsaw three-level shapes must use full leaves")
 
-        candidates = [
-            p for p in range(tree.num_pods)
-            if state.full_free_leaves[p] >= shape.LT
-        ]
+        if self.use_indexes:
+            candidates = state.feasible_pods(
+                0, min_full_leaves=shape.LT
+            ).tolist()
+            self.stats.pods_pruned += tree.num_pods - len(candidates)
+        else:
+            candidates = [
+                p for p in range(tree.num_pods)
+                if state.full_free_leaves[p] >= shape.LT
+            ]
         if len(candidates) < shape.T:
             return None
 
@@ -388,7 +449,23 @@ class JigsawAllocator(Allocator):
             return None, None, 0, s_star, [0] * n_i
 
         taken = set(chosen)
-        for rp in range(tree.num_pods):
+        if self.use_indexes:
+            # Every condition is *necessary* for _fit_remainder_pod to
+            # succeed and its rejections are tick-free, so prefiltering
+            # the remainder-pod scan is decision-invariant: LrT fully
+            # free leaves (checked first thing in _fit_remainder_pod),
+            # and — when there is a remainder leaf — some leaf with
+            # >= nrL free nodes plus the implied node total.
+            rps = self.state.feasible_pods(
+                shape.LrT * tree.m1 + shape.nrL,
+                shape.nrL,
+                1 if shape.nrL else 0,
+                min_full_leaves=shape.LrT,
+            ).tolist()
+            self.stats.pods_pruned += tree.num_pods - len(rps)
+        else:
+            rps = range(tree.num_pods)
+        for rp in rps:
             if rp in taken:
                 continue
             picked = self._fit_remainder_pod(shape, rp, inter)
@@ -455,24 +532,18 @@ class JigsawAllocator(Allocator):
         base = tree.first_leaf_of_pod(rp)
         # The LrT full leaves are picked later from the fully-free pool;
         # reserve them by preferring a *partially* free remainder leaf and
-        # requiring enough fully-free leaves to remain.
-        best: Optional[Tuple[int, int, int]] = None  # (free, leaf, sr_mask)
+        # requiring enough fully-free leaves to remain.  First eligible
+        # leaf in best-fit order == the old min-scan's (free, leaf) pick.
         fully_free = int(self.state.full_free_leaves[rp])
-        for k in range(tree.m2):
-            f = int(free[k])
-            if f < shape.nrL:
-                continue
+        for leaf in self._pod_candidates(rp, shape.nrL):
+            f = int(free[leaf - base])
             if f == tree.m1 and fully_free <= shape.LrT:
                 continue  # would consume a full leaf the shape still needs
-            leaf = base + k
             ok = self._leaf_mask(leaf) & eligible
             if ok.bit_count() < shape.nrL:
                 continue
-            if best is None or f < best[0]:
-                best = (f, leaf, lowest_bits(ok, shape.nrL))
-        if best is None:
-            return None
-        return best[1], best[2]
+            return leaf, lowest_bits(ok, shape.nrL)
+        return None
 
     # ------------------------------------------------------------------
     # Allocation assembly
@@ -569,17 +640,29 @@ class JigsawAllocator(Allocator):
         if count == 0:
             return []
         tree = self.tree
-        free = self.state.free_leaf_counts_in_pod(pod)
         base = tree.first_leaf_of_pod(pod)
         out: List[int] = []
-        for k in range(tree.m2):
-            leaf = base + k
-            if leaf == exclude:
-                continue
-            if free[k] == tree.m1:
+        if self.use_indexes:
+            mask = self.state.fully_free_leaf_mask(pod)
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                leaf = base + low.bit_length() - 1
+                if leaf == exclude:
+                    continue
                 out.append(leaf)
                 if len(out) == count:
                     return out
+        else:
+            free = self.state.free_leaf_counts_in_pod(pod)
+            for k in range(tree.m2):
+                leaf = base + k
+                if leaf == exclude:
+                    continue
+                if free[k] == tree.m1:
+                    out.append(leaf)
+                    if len(out) == count:
+                        return out
         raise RuntimeError(
             f"pod {pod} lost fully-free leaves between search and assembly"
         )

@@ -161,15 +161,48 @@ class LeastConstrainedAllocator(JigsawAllocator):
         self, pod: int, LT: int, nL: int, nrL: int
     ) -> List[_PodSolution]:
         """All (capped) sub-allocations of ``LT`` leaves x ``nL`` nodes in
-        ``pod``, each optionally with an ``nrL``-node remainder leaf."""
+        ``pod``, each optionally with an ``nrL``-node remainder leaf.
+
+        On the indexed path results are memoized per ``_search`` under
+        their exact ``(pod, LT, nL, nrL)`` key — the cluster state and
+        the job's bandwidth need are fixed for the duration of a search,
+        so a repeat call (``_finish_general`` probes the same remainder
+        pods once per completed pod combination) must return the same
+        solutions.  A hit replays the recorded step cost through
+        :meth:`_charge` so the LC+S budget timeout fires at exactly the
+        step it would have fired at without the memo.
+        """
+        if not self.use_indexes:
+            return self._find_all_in_pod_uncached(pod, LT, nL, nrL)
+        key = (pod, LT, nL, nrL)
+        hit = self._pod_memo.get(key)
+        if hit is not None:
+            sols, cost = hit
+            self.stats.memo_hits += 1
+            self._charge(cost)
+            return sols
+        before = self._steps_left
+        sols = self._find_all_in_pod_uncached(pod, LT, nL, nrL)
+        self._pod_memo[key] = (sols, before - self._steps_left)
+        return sols
+
+    def _find_all_in_pod_uncached(
+        self, pod: int, LT: int, nL: int, nrL: int
+    ) -> List[_PodSolution]:
         tree = self.tree
         state = self.state
         need = LT * nL + nrL
         if state.pod_free[pod] < need:
             return []
-        free = state.free_leaf_counts_in_pod(pod)
-        base = tree.first_leaf_of_pod(pod)
-        candidates = [base + k for k in range(tree.m2) if free[k] >= nL]
+        if self.use_indexes:
+            # Ascending leaf-id order off the maintained buckets — the
+            # exact sequence the naive comprehension builds.
+            self.stats.candidate_hits += 1
+            candidates = state.leaf_candidates_by_id(pod, nL)
+        else:
+            free = state.free_leaf_counts_in_pod(pod)
+            base = tree.first_leaf_of_pod(pod)
+            candidates = [base + k for k in range(tree.m2) if free[k] >= nL]
         if len(candidates) < LT:
             return []
         solutions: List[_PodSolution] = []
@@ -180,19 +213,16 @@ class LeastConstrainedAllocator(JigsawAllocator):
             if nrL == 0:
                 return None, 0
             taken = set(chosen)
-            best: Optional[Tuple[int, int, int]] = None
-            for k in range(tree.m2):
-                leaf = base + k
-                if leaf in taken or free[k] < nrL:
+            # First eligible leaf in best-fit (free, leaf-id) order ==
+            # the min-scan's pick: fewest free nodes, then lowest id.
+            for leaf in self._pod_candidates(pod, nrL):
+                if leaf in taken:
                     continue
                 avail = self._leaf_mask(leaf) & inter
                 if avail.bit_count() < nrL:
                     continue
-                if best is None or free[k] < best[0]:
-                    best = (int(free[k]), leaf, avail)
-            if best is None:
-                return None
-            return best[1], best[2]
+                return leaf, avail
+            return None
 
         def backtrack(start: int, inter: int) -> None:
             self._tick()
@@ -226,8 +256,18 @@ class LeastConstrainedAllocator(JigsawAllocator):
     def _find_three_level(self, shape: ThreeLevelShape):
         tree = self.tree
         n_i = tree.l2_per_pod
+        if self.use_indexes:
+            # Vectorized replica of _find_all_in_pod's tick-free
+            # rejections (pod_free and candidate-count): pruned pods
+            # would have returned [] without spending budget.
+            scan = self.state.feasible_pods(
+                shape.LT * shape.nL, shape.nL, shape.LT
+            ).tolist()
+            self.stats.pods_pruned += tree.num_pods - len(scan)
+        else:
+            scan = range(tree.num_pods)
         sols: Dict[int, List[_PodSolution]] = {}
-        for pod in range(tree.num_pods):
+        for pod in scan:
             s = self._find_all_in_pod(pod, shape.LT, shape.nL, 0)
             if s:
                 sols[pod] = s
@@ -288,7 +328,23 @@ class LeastConstrainedAllocator(JigsawAllocator):
             if picked is None:
                 return None
             return list(chosen), None, picked
-        for rp in range(tree.num_pods):
+        if self.use_indexes:
+            # Necessary, tick-free conditions for the per-rp probes to
+            # yield any solution: LrT leaves with >= nL free plus the
+            # node total (the _find_all_in_pod early-outs), or — for a
+            # bare remainder leaf — one leaf with >= nrL free.
+            if shape.LrT:
+                rps = self.state.feasible_pods(
+                    shape.LrT * shape.nL + shape.nrL, shape.nL, shape.LrT
+                ).tolist()
+            else:
+                rps = self.state.feasible_pods(
+                    shape.nrL, shape.nrL, 1
+                ).tolist()
+            self.stats.pods_pruned += tree.num_pods - len(rps)
+        else:
+            rps = range(tree.num_pods)
+        for rp in rps:
             if rp in taken:
                 continue
             for rsol in self._find_all_in_pod(rp, shape.LrT, shape.nL, shape.nrL) \
@@ -305,16 +361,33 @@ class LeastConstrainedAllocator(JigsawAllocator):
     def _remainder_only_solutions(
         self, rp: int, shape: ThreeLevelShape
     ) -> List[_PodSolution]:
-        """Remainder pods holding only the remainder leaf (``LrT == 0``)."""
+        """Remainder pods holding only the remainder leaf (``LrT == 0``).
+
+        Entirely tick-free, so the per-search memo replays it at cost 0.
+        The key reuses the ``(pod, LT, nL, nrL)`` space with ``LT = 0``,
+        which no real :meth:`_find_all_in_pod` call can produce
+        (``TwoLevelShape``/``ThreeLevelShape`` force ``LT >= 1``).
+        """
+        if not self.use_indexes:
+            return self._remainder_only_uncached(rp, shape)
+        key = (rp, 0, 0, shape.nrL)
+        hit = self._pod_memo.get(key)
+        if hit is not None:
+            self.stats.memo_hits += 1
+            return hit[0]
+        sols = self._remainder_only_uncached(rp, shape)
+        self._pod_memo[key] = (sols, 0)
+        return sols
+
+    def _remainder_only_uncached(
+        self, rp: int, shape: ThreeLevelShape
+    ) -> List[_PodSolution]:
         tree = self.tree
-        state = self.state
-        free = state.free_leaf_counts_in_pod(rp)
-        base = tree.first_leaf_of_pod(rp)
         out: List[_PodSolution] = []
-        ranked = sorted(
-            (int(free[k]), base + k) for k in range(tree.m2) if free[k] >= shape.nrL
-        )
-        for f, leaf in ranked[:4]:  # a few best-fit candidates suffice
+        # Best-fit (free, leaf-id) order — identical to the old
+        # sorted((free, leaf)) ranking.
+        ranked = self._pod_candidates(rp, shape.nrL)
+        for leaf in ranked[:4]:  # a few best-fit candidates suffice
             avail = self._leaf_mask(leaf)
             if avail.bit_count() >= shape.nrL:
                 out.append(_PodSolution((), (1 << tree.l2_per_pod) - 1, leaf, avail))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict
 
 from repro.core.allocator import Allocator
@@ -39,4 +40,11 @@ def make_allocator(name: str, tree: XGFT, **kwargs) -> Allocator:
         raise ValueError(
             f"unknown scheme {name!r}; expected one of {sorted(_FACTORIES)}"
         ) from None
-    return factory(tree, **kwargs)
+    allocator = factory(tree, **kwargs)
+    # REPRO_NAIVE_SEARCH=1 flips every allocator to its naive
+    # recompute-per-call search path.  Decisions are identical either
+    # way — benchmarks/_fingerprint.py --vs-naive proves it — so this
+    # exists only for that invariance check and for before/after timing.
+    if os.environ.get("REPRO_NAIVE_SEARCH", "") not in ("", "0"):
+        allocator.use_indexes = False
+    return allocator

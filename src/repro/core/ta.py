@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.allocator import Allocation, Allocator
 from repro.topology.fattree import XGFT
 
@@ -57,13 +59,19 @@ class TopologyAwareAllocator(Allocator):
     name = "ta"
     isolating = True
 
+    #: vectorize the containment-rule scans with numpy; ``False`` falls
+    #: back to the per-leaf Python loops.  Both paths make byte-identical
+    #: decisions (equivalence-tested).
+    use_indexes: bool = True
+
     def __init__(self, tree: XGFT, t1_shares_multi_leaf: bool = False):
         super().__init__(tree)
         self.t1_shares_multi_leaf = t1_shares_multi_leaf
         #: job id of the multi-leaf job whose nodes sit on each leaf, or -1
-        self._multi_owner: List[int] = [-1] * tree.num_leaves
+        #: (numpy so the T1/T2/T3 scans are vectorized comparisons)
+        self._multi_owner = np.full(tree.num_leaves, -1, dtype=np.int64)
         #: job id of the T3 job touching each pod, or -1
-        self._t3_owner: List[int] = [-1] * tree.num_pods
+        self._t3_owner = np.full(tree.num_pods, -1, dtype=np.int64)
         #: per-job bookkeeping for release: (class, leaves, pods)
         self._job_meta: Dict[int, Tuple[str, Tuple[int, ...], Tuple[int, ...]]] = {}
 
@@ -99,26 +107,60 @@ class TopologyAwareAllocator(Allocator):
         """Best-fit single leaf with ``size`` free nodes."""
         state = self.state
         tree = self.tree
-        best: Optional[int] = None
-        best_free = tree.m1 + 1
-        for leaf in range(tree.num_leaves):
-            f = int(state.free_per_leaf[leaf])
-            if f < size or f >= best_free:
-                continue
-            if not self.t1_shares_multi_leaf and not self._leaf_usable_by_multi(leaf):
-                continue
-            best, best_free = leaf, f
-        if best is None:
-            return None
+        if self.use_indexes:
+            free = state.free_per_leaf
+            eligible = free >= size
+            if not self.t1_shares_multi_leaf:
+                eligible &= self._multi_owner == -1
+            # argmin over (free where eligible else m1+1) returns the
+            # *first* leaf achieving the minimum — the same best-fit
+            # tie-break as the scan's strict < comparison.
+            scored = np.where(eligible, free, tree.m1 + 1)
+            best = int(np.argmin(scored))
+            if scored[best] > tree.m1:
+                return None
+        else:
+            best = None
+            best_free = tree.m1 + 1
+            for leaf in range(tree.num_leaves):
+                f = int(state.free_per_leaf[leaf])
+                if f < size or f >= best_free:
+                    continue
+                if not self.t1_shares_multi_leaf and not self._leaf_usable_by_multi(leaf):
+                    continue
+                best, best_free = leaf, f
+            if best is None:
+                return None
         nodes = state.free_node_ids(best, size)
         return Allocation(job_id=job_id, size=size, nodes=tuple(nodes))
+
+    def _usable_free(self) -> np.ndarray:
+        """Per-leaf free counts with multi-leaf-reserved leaves zeroed."""
+        return np.where(
+            self._multi_owner == -1, self.state.free_per_leaf, 0
+        )
 
     def _search_t2(self, job_id: int, size: int) -> Optional[Allocation]:
         """Single pod, on leaves with no other multi-leaf job's nodes."""
         tree = self.tree
         state = self.state
+        if self.use_indexes:
+            usable_free = self._usable_free()
+            totals = usable_free.reshape(tree.num_pods, tree.m2).sum(axis=1)
+            ok = np.flatnonzero(totals >= size)
+            self.stats.pods_pruned += tree.num_pods - int(ok.size)
+            if ok.size == 0:
+                return None
+            pod = int(ok[0])  # first feasible pod, as in the serial scan
+            lo = pod * tree.m2
+            usable = [
+                (int(usable_free[lo + k]), lo + k)
+                for k in range(tree.m2)
+                if usable_free[lo + k]
+            ]
+            return self._take_from_leaves(job_id, size, usable)
         for pod in range(tree.num_pods):
-            usable: List[Tuple[int, int]] = []  # (free, leaf)
+            usable = []  # (free, leaf)
             total = 0
             for leaf in tree.leaves_of_pod(pod):
                 if not self._leaf_usable_by_multi(leaf):
@@ -136,13 +178,27 @@ class TopologyAwareAllocator(Allocator):
         """Across pods that no other T3 job touches, on unreserved leaves."""
         tree = self.tree
         state = self.state
-        pods: List[int] = []
-        pod_leaves: List[Tuple[int, int]] = []
+        if self.use_indexes:
+            usable_free = self._usable_free()
+            eligible = self._t3_owner == -1
+            self.stats.pods_pruned += int((~eligible).sum())
+            per_pod = usable_free.reshape(tree.num_pods, tree.m2).sum(axis=1)
+            cum = np.cumsum(np.where(eligible, per_pod, 0))
+            if int(cum[-1]) < size:
+                return None
+            # First pod index at which the running usable total reaches
+            # the job — exactly where the serial scan breaks.
+            cut = int(np.searchsorted(cum, size))
+            limit = (cut + 1) * tree.m2
+            mask = np.repeat(eligible[: cut + 1], tree.m2)
+            idx = np.flatnonzero((usable_free[:limit] > 0) & mask)
+            pod_leaves = [(int(usable_free[i]), int(i)) for i in idx]
+            return self._take_from_leaves(job_id, size, pod_leaves)
+        pod_leaves = []  # (free, leaf)
         total = 0
         for pod in range(tree.num_pods):
             if self._t3_owner[pod] != -1:
                 continue
-            added = False
             for leaf in tree.leaves_of_pod(pod):
                 if not self._leaf_usable_by_multi(leaf):
                     continue
@@ -150,9 +206,6 @@ class TopologyAwareAllocator(Allocator):
                 if f:
                     pod_leaves.append((f, leaf))
                     total += f
-                    added = True
-            if added:
-                pods.append(pod)
             if total >= size:
                 break
         if total < size:

@@ -20,19 +20,26 @@ TABLE3_TRACES = ("Synth-16", "Sep-Cab", "Thunder", "Synth-28")
 TABLE3_SCHEMES = ("ta", "laas", "jigsaw", "lc+s")
 
 
-def table3_with_cache(
+def table3_full(
     trace_names: Sequence[str] = TABLE3_TRACES,
     schemes: Sequence[str] = TABLE3_SCHEMES,
     scale: Optional[float] = None,
     seed: int = 0,
     workers: Optional[int] = None,
-) -> Tuple[Dict[str, Dict[str, float]], Dict[str, Dict[str, str]]]:
-    """Table 3 plus the allocator feasibility-cache counters, from the
-    same simulation runs.
+) -> Tuple[
+    Dict[str, Dict[str, float]],
+    Dict[str, Dict[str, str]],
+    Dict[str, Dict[str, str]],
+]:
+    """Table 3 plus the allocator cache and search-effort counters, all
+    from the same simulation runs.
 
-    Returns ``(rows, cache_rows)``: ``rows`` is scheme -> trace -> mean
-    allocator seconds per job; ``cache_rows`` is scheme -> trace ->
-    ``"hit%  (hits/lookups)"``.
+    Returns ``(rows, cache_rows, search_rows)``: ``rows`` is scheme ->
+    trace -> mean allocator seconds per job; ``cache_rows`` is scheme ->
+    trace -> ``"hit%  (hits/lookups)"``; ``search_rows`` is scheme ->
+    trace -> ``"pruned/cand/memo/steps"`` (pods pruned by the occupancy
+    prefilter, candidate lists read off the maintained order, per-search
+    memo hits, backtracking steps executed).
     """
     cells = [
         sim_cell(trace=name, scheme=scheme, scale=scale, seed=seed)
@@ -42,6 +49,7 @@ def table3_with_cache(
     results = iter(run_sim_grid(cells, workers=workers))
     rows: Dict[str, Dict[str, float]] = {scheme: {} for scheme in schemes}
     cache_rows: Dict[str, Dict[str, str]] = {scheme: {} for scheme in schemes}
+    search_rows: Dict[str, Dict[str, str]] = {scheme: {} for scheme in schemes}
     for name in trace_names:
         for scheme in schemes:
             result = next(results)
@@ -51,6 +59,25 @@ def table3_with_cache(
                 f"{100 * result.cache_hit_rate:.1f}% "
                 f"({result.cache_hits}/{lookups})"
             )
+            search_rows[scheme][name] = (
+                f"{result.pods_pruned}/{result.candidate_hits}"
+                f"/{result.memo_hits}/{result.backtrack_steps}"
+            )
+    return rows, cache_rows, search_rows
+
+
+def table3_with_cache(
+    trace_names: Sequence[str] = TABLE3_TRACES,
+    schemes: Sequence[str] = TABLE3_SCHEMES,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> Tuple[Dict[str, Dict[str, float]], Dict[str, Dict[str, str]]]:
+    """Table 3 plus the allocator feasibility-cache counters (see
+    :func:`table3_full` for the search-effort counters as well)."""
+    rows, cache_rows, _ = table3_full(
+        trace_names, schemes, scale, seed, workers
+    )
     return rows, cache_rows
 
 
@@ -83,6 +110,18 @@ def render_cache(cache_rows: Dict[str, Dict[str, str]]) -> str:
     return render_table(
         "Allocator feasibility cache: hit rate (hits/lookups)",
         cache_rows,
+        traces,
+        row_header="Approach",
+    )
+
+
+def render_search(search_rows: Dict[str, Dict[str, str]]) -> str:
+    """The search-effort companion table (pruned/cand/memo/steps)."""
+    traces = list(next(iter(search_rows.values())))
+    return render_table(
+        "Allocator search effort: pods pruned/candidate hits"
+        "/memo hits/backtrack steps",
+        search_rows,
         traces,
         row_header="Approach",
     )

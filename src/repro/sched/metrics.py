@@ -116,6 +116,14 @@ class SimResult:
     cache_hits: int = 0
     #: allocator feasibility-cache lookups that ran the search
     cache_misses: int = 0
+    #: pods rejected by the vectorized occupancy prefilter
+    pods_pruned: int = 0
+    #: per-pod candidate lists read off the maintained bucket order
+    candidate_hits: int = 0
+    #: per-search memo hits that skipped a repeated per-pod sub-search
+    memo_hits: int = 0
+    #: backtracking steps actually executed by the allocator searches
+    backtrack_steps: int = 0
 
     # ------------------------------------------------------------------
     @property

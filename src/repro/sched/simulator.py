@@ -506,6 +506,10 @@ class Simulator:
             unscheduled=unscheduled,
             cache_hits=self.allocator.stats.cache_hits,
             cache_misses=self.allocator.stats.cache_misses,
+            pods_pruned=self.allocator.stats.pods_pruned,
+            candidate_hits=self.allocator.stats.candidate_hits,
+            memo_hits=self.allocator.stats.memo_hits,
+            backtrack_steps=self.allocator.stats.backtrack_steps,
         )
 
     # ------------------------------------------------------------------

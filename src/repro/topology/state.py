@@ -26,7 +26,7 @@ a capacity cap rather than exclusively owned.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,14 +56,17 @@ def mask_of(indices: Iterable[int]) -> int:
 
 
 def indices_of(mask: int) -> Tuple[int, ...]:
-    """Sorted tuple of bit indices set in ``mask``."""
+    """Sorted tuple of bit indices set in ``mask``.
+
+    Iterates set bits only (``mask & -mask`` isolates the lowest one),
+    so sparse masks cost O(popcount), not O(highest bit) — this runs in
+    the allocators' backtracking inner loops.
+    """
     out = []
-    i = 0
     while mask:
-        if mask & 1:
-            out.append(i)
-        mask >>= 1
-        i += 1
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
     return tuple(out)
 
 
@@ -72,10 +75,15 @@ def lowest_bits(mask: int, k: int) -> int:
 
     Raises :class:`ValueError` if ``mask`` has fewer than ``k`` set bits.
     """
+    if k <= 0:
+        return 0
+    have = mask.bit_count()
+    if have < k:
+        raise ValueError("mask has fewer set bits than requested")
+    if have == k:
+        return mask
     out = 0
     for _ in range(k):
-        if not mask:
-            raise ValueError("mask has fewer set bits than requested")
         low = mask & -mask
         out |= low
         mask ^= low
@@ -96,6 +104,23 @@ class ClusterState:
     All mutation goes through :meth:`claim` and :meth:`release`, which
     validate the isolation invariant and keep the derived per-leaf /
     per-pod summaries consistent.  Allocators only *read* the summaries.
+
+    Beyond the plain per-leaf/per-pod counters, the state maintains an
+    **incremental occupancy index** so allocator searches never recompute
+    feasibility summaries from scratch:
+
+    * ``_leaf_ge[k, pod]`` — leaves of ``pod`` with at least ``k`` free
+      nodes (``k`` in ``0..m1``), the monotone counter behind the
+      vectorized pod prefilters (:meth:`feasible_pods`);
+    * ``_leaf_buckets[pod][f]`` — bitmask of leaf *offsets* (bit ``j`` =
+      ``j``-th leaf of the pod) holding exactly ``f`` free nodes; the
+      ``f = m1`` bucket is the fully-free-leaf bitmask, and walking the
+      buckets upward yields the allocators' best-fit candidate order
+      (:meth:`leaf_candidates`) without a per-call sort.
+
+    Every index is updated in O(touched leaves) inside claim/release and
+    is purely derived data: rebuilding it from ``node_owner`` must give
+    the same values (:meth:`audit` checks exactly that).
     """
 
     def __init__(self, tree: XGFT):
@@ -103,11 +128,17 @@ class ClusterState:
         m1, m2, m3 = tree.m1, tree.m2, tree.m3
         self._full_leaf_mask = (1 << tree.l2_per_pod) - 1
         self._full_spine_mask = (1 << tree.spines_per_group) - 1
+        self._full_pod_leaf_mask = (1 << m2) - 1
 
         #: owner job id per node, -1 = free
         self.node_owner = np.full(tree.num_nodes, -1, dtype=np.int64)
         #: free-node count per leaf
         self.free_per_leaf = np.full(tree.num_leaves, m1, dtype=np.int32)
+        # Read-only alias handed out by free_leaf_counts_in_pod: slices
+        # of a non-writeable view are non-writeable themselves, so
+        # allocators cannot scribble on index-owned state.
+        self._free_per_leaf_ro = self.free_per_leaf.view()
+        self._free_per_leaf_ro.flags.writeable = False
         #: free leaf-uplink bitmask per leaf (bit i = cable to L2 i free)
         self.leaf_up_mask = [self._full_leaf_mask] * tree.num_leaves
         #: free spine-link bitmask per (pod, L2 index)
@@ -116,9 +147,17 @@ class ClusterState:
         ]
         #: number of completely-free leaves per pod
         self.full_free_leaves = np.full(m3, m2, dtype=np.int32)
-        #: total free nodes per pod (plain ints: this is the hottest
-        #: read in the allocator search loops)
-        self.pod_free = [tree.nodes_per_pod] * m3
+        #: total free nodes per pod (numpy so the allocators' pod
+        #: prefilter is a single vectorized comparison)
+        self.pod_free = np.full(m3, tree.nodes_per_pod, dtype=np.int64)
+        #: leaves with >= k free nodes, per pod: row k is the per-pod
+        #: vector compared against a shape's leaf demand
+        self._leaf_ge = np.full((m1 + 1, m3), m2, dtype=np.int32)
+        #: per-pod bitmask buckets of leaf offsets by exact free count;
+        #: bucket m1 is the fully-free-leaf mask
+        self._leaf_buckets: List[List[int]] = [
+            [0] * m1 + [self._full_pod_leaf_mask] for _ in range(m3)
+        ]
         #: total free nodes on the machine
         self.free_nodes_total = tree.num_nodes
         self._claims: Dict[int, ClaimRecord] = {}
@@ -153,9 +192,95 @@ class ClusterState:
         return tuple(int(base + i) for i in free[:k])
 
     def free_leaf_counts_in_pod(self, pod: int) -> np.ndarray:
-        """View of per-leaf free-node counts for the leaves of ``pod``."""
+        """Read-only view of per-leaf free-node counts for ``pod``.
+
+        The array is allocator-owned index state: writing through the
+        returned view would silently desynchronize the incremental
+        occupancy indexes, so mutation raises ``ValueError``.
+        """
         lo = pod * self.tree.m2
-        return self.free_per_leaf[lo : lo + self.tree.m2]
+        return self._free_per_leaf_ro[lo : lo + self.tree.m2]
+
+    # ------------------------------------------------------------------
+    # Incremental occupancy index: O(1)/vectorized read side
+    # ------------------------------------------------------------------
+    def leaves_with_at_least(self, pod: int, k: int) -> int:
+        """Number of leaves of ``pod`` holding at least ``k`` free nodes.
+
+        O(1): answered from the maintained bucket counters, never by
+        rescanning the leaves.  ``k`` must be in ``0..m1``.
+        """
+        return int(self._leaf_ge[k, pod])
+
+    def fully_free_leaf_mask(self, pod: int) -> int:
+        """Bitmask of completely-free leaf offsets of ``pod`` (bit ``j``
+        = the ``j``-th leaf of the pod is fully free)."""
+        return self._leaf_buckets[pod][self.tree.m1]
+
+    def leaf_candidates(self, pod: int, min_free: int) -> List[int]:
+        """Global leaf ids of ``pod`` with at least ``min_free`` free
+        nodes, in best-fit order: ascending free count, then ascending
+        leaf id — exactly the order ``sorted(..., key=(free, leaf))``
+        would produce, but read off the maintained buckets instead of
+        sorted per call."""
+        base = pod * self.tree.m2
+        out: List[int] = []
+        for bucket in self._leaf_buckets[pod][min_free:]:
+            while bucket:
+                low = bucket & -bucket
+                out.append(base + low.bit_length() - 1)
+                bucket ^= low
+        return out
+
+    def leaf_candidates_by_id(self, pod: int, min_free: int) -> List[int]:
+        """Global leaf ids of ``pod`` with at least ``min_free`` free
+        nodes, in ascending leaf-id order — the LC family's enumeration
+        order.  ORing the buckets and walking set bits costs
+        O(m1 + matches) instead of scanning every leaf."""
+        mask = 0
+        for bucket in self._leaf_buckets[pod][min_free:]:
+            mask |= bucket
+        base = pod * self.tree.m2
+        out: List[int] = []
+        while mask:
+            low = mask & -mask
+            out.append(base + low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def best_fit_leaf(self, pod: int, min_free: int) -> Optional[int]:
+        """Lowest-id leaf of ``pod`` with the fewest (but at least
+        ``min_free``) free nodes, or ``None`` — the head of
+        :meth:`leaf_candidates` without building the list."""
+        base = pod * self.tree.m2
+        for bucket in self._leaf_buckets[pod][min_free:]:
+            if bucket:
+                return base + (bucket & -bucket).bit_length() - 1
+        return None
+
+    def feasible_pods(
+        self,
+        min_free: int,
+        min_leaf_free: int = 0,
+        min_leaves: int = 0,
+        min_full_leaves: int = 0,
+    ) -> np.ndarray:
+        """Indices of pods passing the vectorized occupancy prechecks:
+        at least ``min_free`` free nodes, at least ``min_leaves`` leaves
+        with ``min_leaf_free`` free nodes each, and at least
+        ``min_full_leaves`` completely-free leaves.
+
+        These are exactly the searches' tick-free rejection conditions,
+        evaluated for every pod in one numpy pass; the counters are
+        monotone in the requirement, so a pod excluded here is excluded
+        for every stronger requirement as well.
+        """
+        mask = self.pod_free >= min_free
+        if min_leaves:
+            mask &= self._leaf_ge[min_leaf_free] >= min_leaves
+        if min_full_leaves:
+            mask &= self.full_free_leaves >= min_full_leaves
+        return np.flatnonzero(mask)
 
     def claim_record(self, job_id: int) -> ClaimRecord:
         return self._claims[job_id]
@@ -208,14 +333,23 @@ class ClusterState:
             if not self.spine_free_mask[pod][i] & (1 << j):
                 raise AllocationError(f"spine link ({pod}, {i}, {j}) is not free")
 
+        m1, m2 = self.tree.m1, self.tree.m2
         for n in nodes:
             self.node_owner[n] = job_id
-            leaf = n // self.tree.m1
-            pod = leaf // self.tree.m2
-            if self.free_per_leaf[leaf] == self.tree.m1:
+            leaf = n // m1
+            pod = leaf // m2
+            f = int(self.free_per_leaf[leaf])
+            if f == m1:
                 self.full_free_leaves[pod] -= 1
-            self.free_per_leaf[leaf] -= 1
+            self.free_per_leaf[leaf] = f - 1
             self.pod_free[pod] -= 1
+            # Incremental index: the leaf drops from bucket f to f-1 and
+            # no longer counts toward "leaves with >= f free".
+            bit = 1 << (leaf - pod * m2)
+            buckets = self._leaf_buckets[pod]
+            buckets[f] &= ~bit
+            buckets[f - 1] |= bit
+            self._leaf_ge[f, pod] -= 1
         for leaf, i in leaf_links:
             self.leaf_up_mask[leaf] &= ~(1 << i)
         for pod, i, j in spine_links:
@@ -229,14 +363,22 @@ class ClusterState:
             rec = self._claims.pop(job_id)
         except KeyError:
             raise AllocationError(f"job {job_id} holds no allocation") from None
+        m1, m2 = self.tree.m1, self.tree.m2
         for n in rec.nodes:
             self.node_owner[n] = -1
-            leaf = n // self.tree.m1
-            pod = leaf // self.tree.m2
-            self.free_per_leaf[leaf] += 1
+            leaf = n // m1
+            pod = leaf // m2
+            f = int(self.free_per_leaf[leaf])
+            self.free_per_leaf[leaf] = f + 1
             self.pod_free[pod] += 1
-            if self.free_per_leaf[leaf] == self.tree.m1:
+            if f + 1 == m1:
                 self.full_free_leaves[pod] += 1
+            # Incremental index: the leaf climbs from bucket f to f+1.
+            bit = 1 << (leaf - pod * m2)
+            buckets = self._leaf_buckets[pod]
+            buckets[f] &= ~bit
+            buckets[f + 1] |= bit
+            self._leaf_ge[f + 1, pod] += 1
         for leaf, i in rec.leaf_links:
             self.leaf_up_mask[leaf] |= 1 << i
         for pod, i, j in rec.spine_links:
@@ -270,6 +412,16 @@ class ClusterState:
                 raise AllocationError(f"full_free_leaves[{pod}] out of sync")
             if int(self.free_per_leaf[lo : lo + tree.m2].sum()) != self.pod_free[pod]:
                 raise AllocationError(f"pod_free[{pod}] out of sync")
+            counts = self.free_per_leaf[lo : lo + tree.m2]
+            for k in range(tree.m1 + 1):
+                if int((counts >= k).sum()) != self._leaf_ge[k, pod]:
+                    raise AllocationError(f"_leaf_ge[{k}, {pod}] out of sync")
+            for f in range(tree.m1 + 1):
+                want = mask_of(j for j in range(tree.m2) if counts[j] == f)
+                if want != self._leaf_buckets[pod][f]:
+                    raise AllocationError(
+                        f"_leaf_buckets[{pod}][{f}] out of sync"
+                    )
         owned_nodes: Dict[int, int] = {}
         owned_leaf_links: Dict[LinkId, int] = {}
         owned_spine_links: Dict[SpineLinkId, int] = {}
