@@ -1,0 +1,243 @@
+"""Validate the telemetry artifacts a traced simulation emits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/_check_obs_schema.py \
+        [--trace t.json] [--samples s.jsonl] [--metrics m.prom]
+
+Each given file is checked against its format contract (hand-rolled —
+no external schema libraries):
+
+* ``--trace`` — Chrome ``trace_event`` JSON: a ``traceEvents`` list of
+  objects with ``name``/``ph``/``ts``/``pid``/``tid``; ``"X"`` events
+  carry a non-negative ``dur``; span names come from the documented
+  taxonomy (``docs/observability.md``).
+* ``--samples`` — time-series JSONL: every line a JSON object carrying
+  every field of :data:`repro.obs.sampler.ROW_FIELDS` with sane types
+  and monotonically non-decreasing ``t`` per (trace, scheme) stream.
+* ``--metrics`` — Prometheus text exposition 0.0.4: ``# HELP``/
+  ``# TYPE`` pairs, valid metric/label names, parseable values, and
+  histogram ``_bucket`` series cumulative in ``le``.
+
+Exits non-zero with a per-file error listing on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+from typing import Dict, List, Tuple
+
+#: the span/instant names the instrumentation may emit
+KNOWN_SPANS = {
+    "sched.pass", "backfill.window", "alloc.search", "grid.cell",
+    "netsim.converge",
+}
+KNOWN_INSTANTS = {"sched.start", "sched.complete"}
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def check_trace(path: str) -> List[str]:
+    errors: List[str] = []
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents list"]
+    if not events:
+        errors.append(f"{path}: traceEvents is empty")
+    seen_names = set()
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                errors.append(f"{where}: missing {key!r}")
+        ph = e.get("ph")
+        if ph not in ("X", "i"):
+            errors.append(f"{where}: unexpected phase {ph!r}")
+        if ph == "X" and not (
+            isinstance(e.get("dur"), (int, float)) and e["dur"] >= 0
+        ):
+            errors.append(f"{where}: 'X' event needs non-negative dur")
+        ts = e.get("ts")
+        if not (isinstance(ts, (int, float)) and ts >= 0):
+            errors.append(f"{where}: bad ts {ts!r}")
+        name = e.get("name")
+        known = KNOWN_SPANS if ph == "X" else KNOWN_INSTANTS
+        if name not in known:
+            errors.append(f"{where}: unknown {'span' if ph == 'X' else 'instant'} name {name!r}")
+        seen_names.add(name)
+    return errors
+
+
+def check_samples(path: str) -> List[str]:
+    from repro.obs.sampler import ROW_FIELDS
+
+    errors: List[str] = []
+    last_t: Dict[Tuple[str, str], float] = {}
+    count = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            where = f"{path}:{lineno}"
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{where}: not JSON ({exc})")
+                continue
+            for field in ROW_FIELDS:
+                if field not in row:
+                    errors.append(f"{where}: missing {field!r}")
+            util = row.get("util_pct")
+            if not (
+                isinstance(util, (int, float)) and 0.0 <= util <= 100.0
+            ):
+                errors.append(f"{where}: util_pct {util!r} outside [0, 100]")
+            for field in ("queue_depth", "running_jobs", "free_nodes",
+                          "fully_free_leaves", "shard_free_nodes",
+                          "padding_nodes"):
+                v = row.get(field)
+                if not (isinstance(v, int) and v >= 0):
+                    errors.append(f"{where}: {field} {v!r} not a non-negative int")
+            stream = (str(row.get("trace", "")), str(row.get("scheme", "")))
+            t = row.get("t")
+            if isinstance(t, (int, float)):
+                if stream in last_t and t < last_t[stream]:
+                    errors.append(
+                        f"{where}: t {t} went backwards within stream {stream}"
+                    )
+                last_t[stream] = t
+            else:
+                errors.append(f"{where}: bad t {t!r}")
+    if count == 0:
+        errors.append(f"{path}: no sample rows")
+    return errors
+
+
+def check_metrics(path: str) -> List[str]:
+    errors: List[str] = []
+    helped, typed = set(), {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    samples = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            where = f"{path}:{lineno}"
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    errors.append(f"{where}: malformed TYPE line")
+                else:
+                    typed[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = _METRIC_LINE.match(line)
+            if m is None:
+                errors.append(f"{where}: unparseable sample line {line!r}")
+                continue
+            samples += 1
+            labels = {}
+            raw = m.group("labels")
+            if raw:
+                for pair in _split_labels(raw):
+                    pm = _LABEL_PAIR.match(pair)
+                    if pm is None:
+                        errors.append(f"{where}: bad label pair {pair!r}")
+                    else:
+                        labels[pm.group(1)] = pm.group(2)
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(f"{where}: bad value {m.group('value')!r}")
+                continue
+            name = m.group("name")
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                    base = name[: -len(suffix)]
+            if base not in typed:
+                errors.append(f"{where}: sample {name!r} has no # TYPE")
+            if base not in helped:
+                errors.append(f"{where}: sample {name!r} has no # HELP")
+            if typed.get(base) == "counter" and base == name and (
+                value < 0 or math.isnan(value)
+            ):
+                errors.append(f"{where}: counter {name!r} value {value}")
+            if name.endswith("_bucket") and "le" in labels:
+                le = (
+                    math.inf if labels["le"] == "+Inf" else float(labels["le"])
+                )
+                key = name + json.dumps(
+                    {k: v for k, v in sorted(labels.items()) if k != "le"}
+                )
+                buckets.setdefault(key, []).append((le, value))
+    for key, series in buckets.items():
+        series.sort()
+        if series[-1][0] != math.inf:
+            errors.append(f"{path}: {key}: no +Inf bucket")
+        counts = [c for _, c in series]
+        if counts != sorted(counts):
+            errors.append(f"{path}: {key}: buckets not cumulative")
+    if samples == 0:
+        errors.append(f"{path}: no metric samples")
+    return errors
+
+
+def _split_labels(raw: str) -> List[str]:
+    """Split a label body on commas outside quoted values."""
+    out, depth, cur = [], False, []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == '"' and (i == 0 or raw[i - 1] != "\\"):
+            depth = not depth
+        if ch == "," and not depth:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+        i += 1
+    if cur:
+        out.append("".join(cur))
+    return out
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    checks = {"--trace": check_trace, "--samples": check_samples,
+              "--metrics": check_metrics}
+    all_errors: List[str] = []
+    ran = 0
+    for flag, fn in checks.items():
+        if flag in argv:
+            path = argv[argv.index(flag) + 1]
+            ran += 1
+            found = fn(path)
+            all_errors.extend(found)
+            status = "ok" if not found else f"{len(found)} errors"
+            print(f"{flag[2:]:>8} {path}: {status}")
+    if ran == 0:
+        print(__doc__)
+        sys.exit(2)
+    for err in all_errors:
+        print("ERROR:", err)
+    sys.exit(1 if all_errors else 0)

@@ -25,6 +25,15 @@ and once on the naive recompute-per-call search paths
 (``REPRO_NAIVE_SEARCH=1``) — and asserts byte-identical decisions.
 ``--compare FILE`` instead checks the current code against a previously
 written dump and prints ``FINGERPRINTS-IDENTICAL`` on a match.
+
+Telemetry invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --obs [--scale 0.02]
+
+runs every scheme twice — telemetry off and fully on (enabled tracer,
+time-series sampler, schedule log, metric registry) — and asserts
+byte-identical scheduling decisions: observation must be strictly
+passive (the contract of :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -41,9 +50,12 @@ TRACES = ("Synth-16", "Thunder", "Sep-Cab")
 SCHEMES = ("baseline", "ta", "laas", "jigsaw", "lc+s")
 
 
-def fingerprint(scale: float, workers: Optional[int] = None) -> dict:
+def fingerprint(
+    scale: float, workers: Optional[int] = None, **run_kwargs
+) -> dict:
     cells = [
-        sim_cell(trace=trace, scheme=scheme, scale=scale, seed=0)
+        sim_cell(trace=trace, scheme=scheme, scale=scale, seed=0,
+                 **run_kwargs)
         for trace in TRACES
         for scheme in SCHEMES
     ]
@@ -128,6 +140,26 @@ def vs_naive(scale: float) -> None:
     )
 
 
+def vs_obs(scale: float) -> None:
+    """Assert that full telemetry changes no scheduling decision."""
+    from repro.sched.log import ScheduleLog
+
+    plain = fingerprint(scale)
+    traced = fingerprint(
+        scale, traced=True, sample_interval=1800.0, event_log=ScheduleLog()
+    )
+    bad = _diff("plain", plain, "traced", traced)
+    if bad:
+        raise SystemExit(
+            f"plain vs traced fingerprints differ "
+            f"({bad} of {len(plain)} runs)"
+        )
+    print(
+        f"obs ok: {len(plain)} fingerprints identical "
+        f"(telemetry off vs on, scale {scale})"
+    )
+
+
 def compare(path: str, scale: float, workers: Optional[int]) -> None:
     """Fingerprint the current code and diff against a saved dump."""
     with open(path) as fh:
@@ -153,6 +185,9 @@ if __name__ == "__main__":
         sys.exit(0)
     if "--vs-naive" in sys.argv:
         vs_naive(scale)
+        sys.exit(0)
+    if "--obs" in sys.argv:
+        vs_obs(scale)
         sys.exit(0)
     if "--compare" in sys.argv:
         compare(sys.argv[sys.argv.index("--compare") + 1], scale, workers)

@@ -43,7 +43,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _scale(args) -> Optional[float]:
-    return args.scale if args.scale is not None else default_scale()
+    scale = getattr(args, "scale", None)
+    return scale if scale is not None else default_scale()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -87,6 +88,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                    choices=["baseline", "jigsaw", "laas", "ta", "lc+s", "lc"])
     p.add_argument("--scenario", default=None,
                    help="job-performance scenario (none/5%%/10%%/20%%/v2/random)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome trace_event JSON of the run "
+                   "(open in Perfetto or chrome://tracing)")
+    p.add_argument("--trace-jsonl", default=None, metavar="FILE",
+                   help="write the raw span events as JSONL")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the run's counters in Prometheus text format")
+    p.add_argument("--samples-out", default=None, metavar="FILE",
+                   help="write per-interval time-series samples as JSONL")
+    p.add_argument("--sample-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="simulated seconds between time-series samples "
+                   "(default 3600 when --samples-out is given)")
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    ps = obs_sub.add_parser(
+        "summarize",
+        help="per-span rollup of a trace file (Chrome JSON or JSONL)",
+    )
+    ps.add_argument("trace_file")
 
     p = sub.add_parser(
         "frag",
@@ -167,9 +189,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(table3.render_search(search_rows))
     elif args.command == "simulate":
+        from repro.obs.metrics import MetricRegistry
+        from repro.obs.sampler import write_jsonl as _write_samples
+        from repro.obs.tracer import Tracer
+        from repro.sched.log import ScheduleLog
+
+        tracing = bool(args.trace_out or args.trace_jsonl)
+        tracer = Tracer(enabled=True) if tracing else None
+        registry = MetricRegistry() if args.metrics_out else None
+        event_log = ScheduleLog() if registry is not None else None
+        sample_interval = args.sample_interval
+        if args.samples_out and sample_interval is None:
+            sample_interval = 3600.0
         setup = paper_setup(args.trace, scale=scale, seed=args.seed)
         result = run_scheme(setup, args.scheme, scenario=args.scenario,
-                            seed=args.seed)
+                            seed=args.seed, tracer=tracer,
+                            event_log=event_log,
+                            sample_interval=sample_interval,
+                            metrics=registry)
         print(result.summary())
         print("instantaneous histogram:", result.instant.as_row())
         lookups = result.cache_hits + result.cache_misses
@@ -184,6 +221,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         series = [u for _, u in utilization_timeline(result, buckets=60)]
         print(f"utilization timeline: |{render_sparkline(series)}|")
+        if tracer is not None and args.trace_out:
+            tracer.write_chrome_trace(args.trace_out)
+            print(f"trace: {len(tracer.events)} events -> {args.trace_out}")
+        if tracer is not None and args.trace_jsonl:
+            tracer.write_jsonl(args.trace_jsonl)
+            print(f"trace JSONL: {len(tracer.events)} events -> "
+                  f"{args.trace_jsonl}")
+        if registry is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(registry.export_prometheus_text())
+            print(f"metrics: {len(registry.snapshot())} series -> "
+                  f"{args.metrics_out}")
+        if args.samples_out:
+            _write_samples(result.samples, args.samples_out)
+            print(f"samples: {len(result.samples)} rows "
+                  f"(every {sample_interval:g}s) -> {args.samples_out}")
+    elif args.command == "obs":
+        from repro.obs.tracer import load_trace_events, summarize_trace
+
+        print(summarize_trace(load_trace_events(args.trace_file)))
     elif args.command == "frag":
         _frag_command(args)
     elif args.command == "contention":

@@ -14,9 +14,10 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple, Union
+from typing import Any, Dict, Optional, Set, Tuple, Union
 
 from repro.core.shapes import ThreeLevelShape, TwoLevelShape
+from repro.obs.tracer import get_tracer
 from repro.topology.fattree import LinkId, SpineLinkId, XGFT
 from repro.topology.state import ClusterState
 
@@ -106,6 +107,20 @@ class AllocatorStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def as_registry(self, registry=None, labels=None):
+        """These counters as a :class:`repro.obs.metrics.MetricRegistry`.
+
+        The registry's instruments are *bound*: they read this object's
+        fields live, so ``snapshot()`` / ``export_prometheus_text()``
+        always agree with the attributes (see
+        :func:`repro.obs.bridge.registry_for_stats` for the name
+        catalog).  The fields themselves stay plain ints — the
+        allocation hot path never pays for the registry view.
+        """
+        from repro.obs.bridge import registry_for_stats
+
+        return registry_for_stats(self, registry=registry, labels=labels)
+
 
 class Allocator(ABC):
     """Base class for all scheduling schemes.
@@ -128,6 +143,11 @@ class Allocator(ABC):
         self.tree = tree
         self.state = ClusterState(tree)
         self.stats = AllocatorStats()
+        #: span tracer for ``alloc.search`` (the process-global, disabled
+        #: tracer by default; the simulator installs its own).  Tracing
+        #: is passive — a disabled tracer costs one attribute check per
+        #: allocate() and an enabled one never changes a decision.
+        self.tracer = get_tracer()
         self.allocations: Dict[int, Allocation] = {}
         # Allocation-feasibility cache.  A key is (effective size,
         # bw_need); a key is present iff a search with that key failed
@@ -164,17 +184,21 @@ class Allocator(ABC):
         if job_id in self.allocations:
             raise ValueError(f"job {job_id} is already allocated")
         t0 = time.perf_counter()
+        tracer = self.tracer
+        span = tracer.begin("alloc.search") if tracer.enabled else None
         alloc: Optional[Allocation] = None
         self._check_watermark()
         key = (self.effective_size(size), bw_need)
         if key in self._failed_keys:
             self.stats.cache_hits += 1
+            outcome = "cache_hit"
         else:
             self.stats.cache_misses += 1
             if size <= self.state.free_nodes_total:
                 alloc = self._search(job_id, size, bw_need)
             if alloc is None and self._failure_is_durable():
                 self._failed_keys.add(key)
+            outcome = "placed" if alloc is not None else "failed"
         if alloc is not None:
             self._claim(alloc, bw_need)
             self.allocations[job_id] = alloc
@@ -182,6 +206,19 @@ class Allocator(ABC):
                 self.stats.three_level += 1
             else:
                 self.stats.two_level += 1
+        if span is not None:
+            span.set(
+                scheme=self.name, job=job_id, size=size, eff=key[0],
+                outcome=outcome, **self._trace_attrs(size),
+            )
+            if bw_need is not None:
+                span.set(bw_need=bw_need)
+            if alloc is not None:
+                span.set(
+                    level=3 if isinstance(alloc.shape, ThreeLevelShape) else 2,
+                    nodes=len(alloc.nodes),
+                )
+            tracer.end(span)
         self.stats.record(alloc is not None, time.perf_counter() - t0)
         return alloc
 
@@ -282,6 +319,13 @@ class Allocator(ABC):
         self, job_id: int, size: int, bw_need: Optional[float]
     ) -> Optional[Allocation]:
         """Find a placement without mutating state, or return None."""
+
+    def _trace_attrs(self, size: int) -> Dict[str, Any]:
+        """Scheme-specific attributes for the ``alloc.search`` span.
+
+        Called only when tracing is enabled; must be side-effect free.
+        """
+        return {}
 
     def _failure_is_durable(self) -> bool:
         """Whether the last failed :meth:`_search` *proves* infeasibility.

@@ -28,6 +28,9 @@ class BaselineAllocator(Allocator):
     isolating = False
     low_interference = False
 
+    def _trace_attrs(self, size):
+        return {"free_nodes": self.state.free_nodes_total}
+
     def _search(
         self, job_id: int, size: int, bw_need: Optional[float]
     ) -> Optional[Allocation]:

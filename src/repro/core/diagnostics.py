@@ -121,7 +121,14 @@ def fragmentation_snapshot(
     allocator: Allocator,
     probe_sizes: Optional[Sequence[int]] = None,
 ) -> FragmentationSnapshot:
-    """Take a fragmentation snapshot of ``allocator``'s current state."""
+    """Take a fragmentation snapshot of ``allocator``'s current state.
+
+    Passing an explicitly empty ``probe_sizes`` sequence yields a
+    **structural** snapshot: no ``can_allocate`` probes run at all (so
+    the allocator's cache counters are untouched), ``placeable`` stays
+    empty and ``largest_placeable`` is 0.  The time-series sampler
+    (:mod:`repro.obs.sampler`) relies on this probe-free form.
+    """
     tree = allocator.tree
     state = allocator.state
     if probe_sizes is None:
@@ -154,7 +161,7 @@ def fragmentation_snapshot(
     placeable: Dict[int, bool] = {}
     largest = 0
     probes = set(probe_sizes)
-    if free:
+    if free and probes:
         probes.add(free)  # "could one job absorb all free capacity?"
     for size in sorted(probes):
         ok = size <= free and allocator.can_allocate(size)
@@ -179,6 +186,17 @@ def fragmentation_snapshot(
         memo_hits=memo,
         backtrack_steps=steps,
     )
+
+
+def structural_snapshot(allocator: Allocator) -> FragmentationSnapshot:
+    """Probe-free fragmentation snapshot (structure only, no searches).
+
+    Cheap enough to take per sample interval inside a simulation and
+    guaranteed not to perturb the allocator in any way — it never calls
+    :meth:`~repro.core.allocator.Allocator.can_allocate`, so even the
+    cache counters stay untouched.
+    """
+    return fragmentation_snapshot(allocator, probe_sizes=())
 
 
 def compare_fragmentation(

@@ -161,6 +161,14 @@ class JigsawAllocator(Allocator):
         # exhaustive failure may enter the cross-pass feasibility cache.
         return not self._budget_exhausted
 
+    def _trace_attrs(self, size):
+        # steps_used reflects the last executed search (0 on cache hits)
+        return {
+            "strategy": self.strategy,
+            "steps_used": self.step_budget - self._steps_left,
+            "budget_exhausted": self._budget_exhausted,
+        }
+
     def _search_two_level(self, alloc_size: int):
         """Find a single-subtree placement, returning ``(shape, solution)``.
 

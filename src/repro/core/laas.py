@@ -51,6 +51,12 @@ class LaaSAllocator(JigsawAllocator):
             return self._rounded(size)
         return size
 
+    def _trace_attrs(self, size):
+        attrs = super()._trace_attrs(size)
+        # the whole-leaf padding a three-level spill would drag along
+        attrs["rounded_size"] = self._rounded(size)
+        return attrs
+
     # The two-level search is inherited from Jigsaw unchanged.
 
     def _three_level_shape_iter(self, size: int) -> Iterator[ThreeLevelShape]:

@@ -123,6 +123,12 @@ class LeastConstrainedAllocator(JigsawAllocator):
         self._bw = bw_need if bw_need is not None else self.default_bw
         return super()._search(job_id, size, bw_need)
 
+    def _trace_attrs(self, size):
+        attrs = super()._trace_attrs(size)
+        attrs["share_links"] = self.share_links
+        attrs["step_budget"] = self.step_budget
+        return attrs
+
     def _claim(self, alloc: Allocation, bw_need: Optional[float]) -> None:
         bw = bw_need if bw_need is not None else self.default_bw
         if self.share_links:

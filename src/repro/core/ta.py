@@ -86,6 +86,9 @@ class TopologyAwareAllocator(Allocator):
             return "t2"
         return "t3"
 
+    def _trace_attrs(self, size):
+        return {"tier": self.classify(size)}
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------

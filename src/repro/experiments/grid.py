@@ -45,6 +45,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import ExperimentSetup, paper_setup, run_scheme
+from repro.obs.sampler import merge_streams
+from repro.obs.tracer import get_tracer
 
 #: environment variable consulted when ``workers`` is not given
 WORKERS_ENV = "REPRO_WORKERS"
@@ -199,9 +201,17 @@ def _execute_cell(item: Tuple[int, GridCell]) -> Tuple[int, CellOutcome]:
     """Run one cell (worker entry point; module-level so it pickles)."""
     index, c = item
     fn = _resolve_task(c.task)
+    tracer = get_tracer()
+    span = tracer.begin("grid.cell") if tracer.enabled else None
     hits0, misses0 = _CACHE_COUNTERS["hits"], _CACHE_COUNTERS["misses"]
     t0 = time.perf_counter()
     value = fn(**c.params)
+    if span is not None:
+        span.set(task=c.task, index=index, **{
+            k: v for k, v in c.params.items()
+            if isinstance(v, (str, int, float, bool))
+        })
+        tracer.end(span)
     return index, CellOutcome(
         value=value,
         wall_seconds=time.perf_counter() - t0,
@@ -267,3 +277,30 @@ def run_sim_grid(
 ) -> List[Any]:
     """Shorthand: :func:`run_grid` returning just the cell values."""
     return [outcome.value for outcome in run_grid(cells, workers=workers)]
+
+
+#: cell params used to label merged sample rows (in label order)
+_STREAM_LABEL_KEYS = ("trace", "scheme", "scenario", "seed")
+
+
+def merge_sample_streams(
+    cells: Sequence[GridCell], outcomes: Sequence[CellOutcome]
+) -> List[Dict[str, Any]]:
+    """Merge the cells' time-series samples into one labelled stream.
+
+    Each ``SimResult.samples`` row is tagged with its cell's identifying
+    parameters (trace/scheme/scenario/seed, where present).  Because
+    :func:`run_grid` returns outcomes in cell order for any worker
+    count, the merged stream is byte-identical serially or parallel —
+    the property the obs fingerprint check rides on.
+    """
+    streams = []
+    for c, outcome in zip(cells, outcomes):
+        rows = getattr(outcome.value, "samples", None) or []
+        labels = {
+            k: c.params[k]
+            for k in _STREAM_LABEL_KEYS
+            if c.params.get(k) is not None
+        }
+        streams.append((labels, rows))
+    return merge_streams(streams)

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.registry import make_allocator
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.tracer import Tracer
 from repro.sched.metrics import SimResult
 from repro.sched.simulator import Simulator
 from repro.sched.speedup import apply_scenario
@@ -141,6 +143,12 @@ def run_scheme(
     backfill_policy: str = "easy",
     estimate_factor: float = 1.0,
     queue_order: str = "fifo",
+    event_log=None,
+    tracer=None,
+    traced: bool = False,
+    sampler=None,
+    sample_interval: Optional[float] = None,
+    metrics=None,
     **allocator_kwargs,
 ) -> SimResult:
     """Simulate ``setup``'s trace under one scheme (and speed-up scenario).
@@ -149,9 +157,25 @@ def run_scheme(
     are always (re)assigned, so a setup reused across runs — the worker
     setup cache in :mod:`repro.experiments.grid` does this — cannot leak
     a previous scenario's speed-ups into a scenario-free run.
+
+    Telemetry (all strictly passive; see :mod:`repro.obs`):
+
+    * ``tracer`` — a :class:`~repro.obs.tracer.Tracer` to record spans
+      into; ``traced=True`` creates an enabled one when none is given
+      (the picklable spelling grid workers use).
+    * ``sampler``/``sample_interval`` — a
+      :class:`~repro.obs.sampler.TimeSeriesSampler` (or the interval to
+      build one from); rows land in ``SimResult.samples``.
+    * ``event_log`` — a :class:`~repro.sched.log.ScheduleLog`.
+    * ``metrics`` — a :class:`~repro.obs.metrics.MetricRegistry` to
+      populate with live views of the run's counters.
     """
     apply_scenario(setup.trace.jobs, scenario or "none", seed=seed)
     allocator = make_allocator(scheme, setup.tree, **allocator_kwargs)
+    if tracer is None and traced:
+        tracer = Tracer(enabled=True)
+    if sampler is None and sample_interval is not None:
+        sampler = TimeSeriesSampler(sample_interval)
     sim = Simulator(
         allocator,
         backfill_window=backfill_window,
@@ -159,5 +183,15 @@ def run_scheme(
         backfill_policy=backfill_policy,
         estimate_factor=estimate_factor,
         queue_order=queue_order,
+        event_log=event_log,
+        tracer=tracer,
+        sampler=sampler,
     )
-    return sim.run(setup.trace)
+    result = sim.run(setup.trace)
+    if metrics is not None:
+        from repro.obs.bridge import simulation_registry
+
+        simulation_registry(
+            result, allocator.stats, event_log, registry=metrics
+        )
+    return result

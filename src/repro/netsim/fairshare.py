@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Mapping, Sequence, Set
 
+from repro.obs.tracer import get_tracer
+
 #: a flow is any hashable identity; links likewise
 FlowId = Hashable
 LinkKey = Hashable
@@ -62,6 +64,8 @@ def max_min_fair_rates(
     """
     if capacity <= 0:
         raise ValueError("link capacity must be positive")
+    tracer = get_tracer()
+    span = tracer.begin("netsim.converge") if tracer.enabled else None
     caps: Dict[LinkKey, float] = {}
     flows_on: Dict[LinkKey, Set[FlowId]] = {}
     for flow, links in flow_links.items():
@@ -87,7 +91,9 @@ def max_min_fair_rates(
             bottleneck[flow] = None
             unfrozen.discard(flow)
 
+    iterations = 0
     while unfrozen:
+        iterations += 1
         # The tightest link determines the next uniform increment.
         tight_link = None
         tight_share = float("inf")
@@ -118,4 +124,7 @@ def max_min_fair_rates(
     residual = {
         link: max(0.0, remaining.get(link, caps[link])) for link in caps
     }
+    if span is not None:
+        span.set(flows=len(flow_links), links=len(caps), iterations=iterations)
+        tracer.end(span)
     return FlowRates(rates=rates, bottleneck=bottleneck, residual=residual)

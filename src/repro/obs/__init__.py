@@ -1,0 +1,64 @@
+"""Unified telemetry: span tracing, metrics, and time-series sampling.
+
+The observability layer has three pillars, all strictly passive — with
+telemetry fully enabled every scheduling decision is byte-identical to a
+telemetry-free run (``benchmarks/_fingerprint.py --obs`` enforces it):
+
+* :mod:`repro.obs.tracer` — context-manager **spans** (``sched.pass``,
+  ``alloc.search``, ``backfill.window``, ``grid.cell``,
+  ``netsim.converge``) recording wall time, simulated time and custom
+  attributes, exported as Chrome ``trace_event`` JSON (loadable in
+  Perfetto / ``chrome://tracing``) or raw JSONL.  A disabled tracer
+  costs one attribute check per instrumented site.
+* :mod:`repro.obs.metrics` — a **metric registry**
+  (:class:`~repro.obs.metrics.Counter` / ``Gauge`` / ``Histogram`` with
+  labels) that unifies the counters scattered across
+  :class:`~repro.core.allocator.AllocatorStats`,
+  :class:`~repro.sched.metrics.SimResult` and
+  :class:`~repro.sched.log.ScheduleLog` behind one ``snapshot()`` /
+  ``export_prometheus_text()`` API (the legacy attributes stay: bound
+  instruments read the same storage, so registry and attributes can
+  never disagree).
+* :mod:`repro.obs.sampler` — a **time-series sampler** hooked into
+  :meth:`repro.sched.simulator.Simulator.run` that emits per-interval
+  utilization / queue-depth / fragmentation rows to JSONL, merged
+  deterministically in cell order by the experiment-grid engine.
+
+See ``docs/observability.md`` for the span taxonomy and the metric name
+catalog.
+"""
+
+from repro.obs.bridge import (
+    registry_for_log,
+    registry_for_result,
+    registry_for_stats,
+    simulation_registry,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.sampler import TimeSeriesSampler, merge_streams, write_jsonl
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    summarize_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Span",
+    "TimeSeriesSampler",
+    "Tracer",
+    "get_tracer",
+    "merge_streams",
+    "registry_for_log",
+    "registry_for_result",
+    "registry_for_stats",
+    "set_tracer",
+    "simulation_registry",
+    "summarize_trace",
+    "write_jsonl",
+]

@@ -13,9 +13,10 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
+import json
 from typing import Counter as CounterType
 from collections import Counter
-from typing import List, Optional, TextIO, Union
+from typing import Any, Dict, List, Optional, TextIO, Union
 
 #: event kinds, in the order they can occur for one job; "unscheduled"
 #: terminates a job that provably can never start (failure injection)
@@ -34,6 +35,10 @@ class ScheduleEvent:
     size: int
     #: for starts: how the job was selected (fifo/backfill/reserved)
     via: Optional[str] = None
+    #: free-form context (the simulator shares one dict between this
+    #: event and the tracer's matching instant event, so the audit trail
+    #: and the trace can be joined without re-deriving anything)
+    attrs: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -45,13 +50,14 @@ class ScheduleLog:
     def record(
         self, time: float, kind: str, job_id: int, size: int,
         via: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Append one event (validated against KINDS/VIAS)."""
         if kind not in KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         if via is not None and via not in VIAS:
             raise ValueError(f"unknown start mechanism {via!r}")
-        self.events.append(ScheduleEvent(time, kind, job_id, size, via))
+        self.events.append(ScheduleEvent(time, kind, job_id, size, via, attrs))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -74,13 +80,34 @@ class ScheduleLog:
         total = sum(mechanisms.values())
         return mechanisms.get("backfill", 0) / total if total else 0.0
 
+    def as_registry(self, registry=None):
+        """Event and start-mechanism counts as a live metric-registry
+        view (see :mod:`repro.obs.bridge`)."""
+        from repro.obs.bridge import registry_for_log
+
+        return registry_for_log(self, registry=registry)
+
     def to_csv(self, target: Union[str, Path, TextIO]) -> None:
-        """Write the log as CSV (time, kind, job_id, size, via)."""
+        """Write the log as CSV (time, kind, job_id, size, via).
+
+        An ``attrs`` column (JSON-encoded) is appended only when at
+        least one event carries attributes, so untraced logs keep the
+        historical five-column layout byte for byte.
+        """
         if isinstance(target, (str, Path)):
             with open(target, "w", newline="", encoding="utf-8") as fh:
                 self.to_csv(fh)
                 return
         writer = csv.writer(target)
-        writer.writerow(["time", "kind", "job_id", "size", "via"])
+        with_attrs = any(e.attrs for e in self.events)
+        header = ["time", "kind", "job_id", "size", "via"]
+        if with_attrs:
+            header.append("attrs")
+        writer.writerow(header)
         for e in self.events:
-            writer.writerow([e.time, e.kind, e.job_id, e.size, e.via or ""])
+            row = [e.time, e.kind, e.job_id, e.size, e.via or ""]
+            if with_attrs:
+                row.append(
+                    json.dumps(e.attrs, sort_keys=True) if e.attrs else ""
+                )
+            writer.writerow(row)

@@ -22,7 +22,7 @@ Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: Table 2's instantaneous-utilization ranges, as (label, lo, hi) with
 #: samples classified by lo <= u < hi (the top bin includes 100).
@@ -124,6 +124,10 @@ class SimResult:
     memo_hits: int = 0
     #: backtracking steps actually executed by the allocator searches
     backtrack_steps: int = 0
+    #: per-interval time-series rows, when the run was sampled
+    #: (see :mod:`repro.obs.sampler`); empty otherwise.  Plain dicts so
+    #: the result stays picklable across the grid engine's process pool.
+    samples: List[Dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -205,6 +209,18 @@ class SimResult:
         return {
             label: _mean(vals) for label, vals in classes.items() if vals
         }
+
+    def as_registry(self, registry=None, labels: Optional[Dict[str, str]] = None):
+        """This result's counters as a live metric-registry view.
+
+        The registry's instruments read these fields on demand (the
+        collector pattern — see :mod:`repro.obs.bridge`), so the two
+        representations cannot disagree.  Imported lazily to keep the
+        metrics module dependency-free for pickling.
+        """
+        from repro.obs.bridge import registry_for_result
+
+        return registry_for_result(self, registry=registry, labels=labels)
 
     def summary(self) -> str:
         """One-line human-readable digest."""

@@ -28,6 +28,7 @@ from itertools import count
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.allocator import Allocator
+from repro.obs.sampler import simulator_row
 from repro.sched.backfill import Reservation, compute_reservation, may_backfill
 from repro.sched.job import Job
 from repro.sched.metrics import InstantHistogram, JobRecord, SimResult
@@ -83,6 +84,8 @@ class Simulator:
         runtime_model=None,
         queue_order: str = "fifo",
         event_log=None,
+        tracer=None,
+        sampler=None,
     ):
         if not allocator.state.is_idle():
             raise ValueError("allocator must start idle")
@@ -122,6 +125,14 @@ class Simulator:
         self.queue_order = queue_order
         #: optional :class:`repro.sched.log.ScheduleLog` audit trail
         self.event_log = event_log
+        #: optional :class:`repro.obs.tracer.Tracer`; when set it is also
+        #: installed on the allocator so one trace covers both layers.
+        #: ``None`` falls back to whatever tracer the allocator carries
+        #: (the process-global one unless someone installed another).
+        self.tracer = tracer
+        #: optional :class:`repro.obs.sampler.TimeSeriesSampler`; when
+        #: set, ``run`` fills it and the rows land in ``SimResult.samples``
+        self.sampler = sampler
         self.low_interference = allocator.low_interference
         #: the head job's current reservation: (job id, Reservation)
         self._sticky: Optional[Tuple[int, Reservation]] = None
@@ -179,6 +190,23 @@ class Simulator:
         n_system = tree.num_nodes
         unscheduled: List[int] = []
 
+        # Telemetry (strictly passive: nothing below may influence a
+        # scheduling decision — benchmarks/_fingerprint.py --obs holds
+        # the whole stack to that).
+        tracer = self.tracer if self.tracer is not None else self.allocator.tracer
+        if self.tracer is not None:
+            self.allocator.tracer = tracer
+        if tracer.enabled:
+            tracer.sim_time = last_t
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.reset(last_t)
+
+        def sample_row(boundary: float) -> dict:
+            return simulator_row(
+                boundary, self.allocator, pending, len(running), cur_busy
+            )
+
         def advance(t: float) -> None:
             nonlocal busy_area, demand_area, total_busy_area, last_t
             dt = t - last_t
@@ -205,7 +233,17 @@ class Simulator:
             alloc = self.allocator.allocate(job.id, job.size, bw_need=job.bw_need)
             if alloc is None:
                 return False
-            if self.event_log is not None:
+            if tracer.enabled:
+                # One dict serves both sinks: the trace's instant event
+                # and the audit log's attrs column stay joinable.
+                attrs = {"wait": now - job.arrival, "via": via,
+                         "job": job.id, "size": job.size}
+                tracer.instant("sched.start", attrs)
+                if self.event_log is not None:
+                    self.event_log.record(
+                        now, "start", job.id, job.size, via, attrs=attrs
+                    )
+            elif self.event_log is not None:
                 self.event_log.record(now, "start", job.id, job.size, via)
             job.start = now
             if self.runtime_model is not None:
@@ -431,7 +469,11 @@ class Simulator:
             ):
                 self._sticky = (head_job.id, self._reservation(now, head_job, running))
             reservation = self._sticky[1]
+            bspan = tracer.begin("backfill.window") if tracer.enabled else None
+            scanned = 0
+            started = 0
             for cand in window_candidates():
+                scanned += 1
                 key = (eff(cand), cand.bw_need)
                 if key in failed:
                     continue
@@ -446,9 +488,17 @@ class Simulator:
                 if try_start(cand, now, via="backfill"):
                     note_started_out_of_order(cand.id)
                     pending -= 1
+                    started += 1
                     sample()
                 else:
                     failed.add(key)
+            if bspan is not None:
+                bspan.set(
+                    window=self.backfill_window, scanned=scanned,
+                    started=started, head=head_job.id,
+                    shadow_time=reservation.shadow_time,
+                )
+                tracer.end(bspan)
 
         # --------------------------------------------------------------
         # Main loop
@@ -457,7 +507,15 @@ class Simulator:
         last_completion = last_t
         while events:
             t = events[0][0]
+            if sampler is not None:
+                # Boundaries before t see the state as of entering them:
+                # sample *before* applying this batch or advancing areas.
+                sampler.advance_to(t, sample_row)
+            if tracer.enabled:
+                tracer.sim_time = t
             advance(t)
+            arrivals = 0
+            completions = 0
             while events and events[0][0] == t:
                 _, kind, _, job = heapq.heappop(events)
                 if kind == _COMPLETION:
@@ -467,14 +525,33 @@ class Simulator:
                     running.pop(job.id)
                     cur_busy -= job.size
                     last_completion = t
-                    if self.event_log is not None:
+                    completions += 1
+                    if tracer.enabled:
+                        attrs = {"job": job.id, "size": job.size}
+                        tracer.instant("sched.complete", attrs)
+                        if self.event_log is not None:
+                            self.event_log.record(
+                                t, "complete", job.id, job.size, attrs=attrs
+                            )
+                    elif self.event_log is not None:
                         self.event_log.record(t, "complete", job.id, job.size)
                     sample()
                 else:
+                    arrivals += 1
                     if self.event_log is not None:
                         self.event_log.record(t, "arrive", job.id, job.size)
                     enqueue(job)
+            span = tracer.begin("sched.pass") if tracer.enabled else None
+            queue_before = pending
             schedule(t)
+            if span is not None:
+                span.set(
+                    arrivals=arrivals, completions=completions,
+                    queue_before=queue_before, queue_after=pending,
+                    started=queue_before - pending, running=len(running),
+                    free_nodes=self.allocator.free_nodes,
+                )
+                tracer.end(span)
             if pending and not running and not events:
                 # Nothing can ever start these jobs (should not happen
                 # for valid traces; recorded for failure-injection tests).
@@ -485,6 +562,9 @@ class Simulator:
                     advance_head()
                     pending -= 1
                 break
+
+        if sampler is not None:
+            sampler.finish(last_t, sample_row)
 
         completed = [
             JobRecord(j.id, j.size, j.arrival, j.start, j.end)
@@ -510,6 +590,7 @@ class Simulator:
             candidate_hits=self.allocator.stats.candidate_hits,
             memo_hits=self.allocator.stats.memo_hits,
             backtrack_steps=self.allocator.stats.backtrack_steps,
+            samples=list(sampler.rows) if sampler is not None else [],
         )
 
     # ------------------------------------------------------------------

@@ -33,3 +33,15 @@ class Timer:
     def mean(self) -> float:
         """Average seconds per timed call (0 when never used)."""
         return self.seconds / self.calls if self.calls else 0.0
+
+    # Aliases matching the metric-registry vocabulary (a timer exports
+    # naturally as a ``_sum``/``_count`` pair — see repro.obs.metrics).
+    @property
+    def total(self) -> float:
+        """Accumulated seconds (alias of :attr:`seconds`)."""
+        return self.seconds
+
+    @property
+    def count(self) -> int:
+        """Number of timed calls (alias of :attr:`calls`)."""
+        return self.calls

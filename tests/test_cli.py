@@ -29,6 +29,48 @@ def test_simulate(capsys):
     assert "instantaneous histogram" in out
 
 
+def test_simulate_telemetry_outputs(tmp_path, capsys):
+    import json
+
+    trace_out = tmp_path / "t.json"
+    trace_jsonl = tmp_path / "t.jsonl"
+    metrics_out = tmp_path / "m.prom"
+    samples_out = tmp_path / "s.jsonl"
+    assert main([
+        "simulate", "--scale", "0.004", "--trace", "Synth-16",
+        "--scheme", "jigsaw",
+        "--trace-out", str(trace_out),
+        "--trace-jsonl", str(trace_jsonl),
+        "--metrics-out", str(metrics_out),
+        "--samples-out", str(samples_out),
+        "--sample-interval", "1800",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and "metrics:" in out and "samples:" in out
+    doc = json.loads(trace_out.read_text())
+    assert doc["traceEvents"], "expected span events"
+    assert any(e["name"] == "alloc.search" for e in doc["traceEvents"])
+    assert trace_jsonl.read_text().strip()
+    assert "# TYPE repro_alloc_attempts_total counter" in (
+        metrics_out.read_text()
+    )
+    rows = [json.loads(l) for l in samples_out.read_text().splitlines()]
+    assert rows and all("util_pct" in r for r in rows)
+
+
+def test_obs_summarize(tmp_path, capsys):
+    trace_out = tmp_path / "t.json"
+    assert main([
+        "simulate", "--scale", "0.004", "--trace", "Synth-16",
+        "--scheme", "baseline", "--trace-out", str(trace_out),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "summarize", str(trace_out)]) == 0
+    out = capsys.readouterr().out
+    assert "alloc.search" in out
+    assert "mean ms" in out
+
+
 def test_frag(capsys):
     assert main(["frag", "--radix", "8", "--occupancy", "0.5"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""Metric registry: instrument semantics and export formats."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("hits_total", "hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counters_never_decrease(self, reg):
+        c = reg.counter("hits_total", "hits")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_series_are_independent(self, reg):
+        c = reg.counter("starts_total", "starts", labelnames=("via",))
+        c.labels(via="fifo").inc(2)
+        c.labels(via="backfill").inc(5)
+        snap = reg.snapshot()
+        assert snap['starts_total{via="fifo"}'] == 2
+        assert snap['starts_total{via="backfill"}'] == 5
+
+    def test_unlabeled_access_on_labeled_family_rejected(self, reg):
+        c = reg.counter("starts_total", "starts", labelnames=("via",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_wrong_label_names_rejected(self, reg):
+        c = reg.counter("starts_total", "starts", labelnames=("via",))
+        with pytest.raises(ValueError):
+            c.labels(kind="fifo")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("depth", "queue depth")
+        g.set(10)
+        g.inc(3)
+        g.dec()
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self, reg):
+        h = reg.histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap['lat_bucket{le="0.1"}'] == 1
+        assert snap['lat_bucket{le="1"}'] == 2
+        assert snap['lat_bucket{le="10"}'] == 3
+        assert snap['lat_bucket{le="+Inf"}'] == 3
+        assert snap["lat_count"] == 3
+        assert snap["lat_sum"] == pytest.approx(5.55)
+
+    def test_overflow_lands_only_in_inf(self, reg):
+        h = reg.histogram("lat", "latency", buckets=(1.0,))
+        h.observe(99.0)
+        snap = reg.snapshot()
+        assert snap['lat_bucket{le="1"}'] == 0
+        assert snap['lat_bucket{le="+Inf"}'] == 1
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, reg):
+        reg.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "x again")
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("0bad", "starts with a digit")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", "bad label", labelnames=("0via",))
+
+    def test_contains_and_get(self, reg):
+        c = reg.counter("x_total", "x")
+        assert "x_total" in reg and reg.get("x_total") is c
+        assert "y_total" not in reg
+
+    def test_bound_series_reads_live_storage(self, reg):
+        box = {"n": 1}
+        reg.bind("box_total", "live box", lambda: box["n"])
+        assert reg.snapshot()["box_total"] == 1
+        box["n"] = 7
+        assert reg.snapshot()["box_total"] == 7
+
+    def test_bound_family_extends_by_label_value(self, reg):
+        reg.bind("k_total", "k", lambda: 1, labels={"kind": "a"})
+        reg.bind("k_total", "k", lambda: 2, labels={"kind": "b"})
+        snap = reg.snapshot()
+        assert snap['k_total{kind="a"}'] == 1
+        assert snap['k_total{kind="b"}'] == 2
+
+    def test_bound_duplicate_series_rejected(self, reg):
+        reg.bind("k_total", "k", lambda: 1, labels={"kind": "a"})
+        with pytest.raises(ValueError):
+            reg.bind("k_total", "k", lambda: 2, labels={"kind": "a"})
+
+    def test_bound_cannot_shadow_owned(self, reg):
+        reg.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            reg.bind("x_total", "x", lambda: 1)
+
+
+class TestPrometheusText:
+    def test_format(self, reg):
+        c = reg.counter("repro_starts_total", "job starts", ("via",))
+        c.labels(via="fifo").inc(3)
+        g = reg.gauge("repro_depth", "queue depth")
+        g.set(1.5)
+        text = reg.export_prometheus_text()
+        lines = text.splitlines()
+        assert "# HELP repro_depth queue depth" in lines
+        assert "# TYPE repro_depth gauge" in lines
+        assert "repro_depth 1.5" in lines
+        assert "# TYPE repro_starts_total counter" in lines
+        assert 'repro_starts_total{via="fifo"} 3' in lines
+        assert text.endswith("\n")
+
+    def test_integers_render_without_decimal_point(self, reg):
+        reg.counter("n_total", "n").inc(42)
+        assert "n_total 42" in reg.export_prometheus_text().splitlines()
+
+    def test_label_values_escaped(self, reg):
+        c = reg.counter("x_total", "x", ("name",))
+        c.labels(name='we"ird\\v').inc()
+        assert 'x_total{name="we\\"ird\\\\v"} 1' in (
+            reg.export_prometheus_text()
+        )
+
+    def test_passes_schema_checker(self, reg, tmp_path):
+        import pathlib
+        import sys
+
+        sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
+        try:
+            import _check_obs_schema as checker
+        finally:
+            sys.path.pop(0)
+        h = reg.histogram("repro_lat", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        reg.counter("repro_hits_total", "hits").inc(2)
+        path = tmp_path / "m.prom"
+        path.write_text(reg.export_prometheus_text())
+        assert checker.check_metrics(str(path)) == []

@@ -1,0 +1,167 @@
+"""Span tracer: recording, no-op discipline, exports, summarize."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    Tracer,
+    get_tracer,
+    load_trace_events,
+    set_tracer,
+    summarize_trace,
+)
+
+
+class TestRecording:
+    def test_disabled_span_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("sched.pass", queue=3):
+            pass
+        tracer.instant("sched.start", {"job": 1})
+        assert tracer.events == []
+
+    def test_disabled_span_is_falsy_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        a = tracer.span("alloc.search")
+        b = tracer.span("sched.pass")
+        assert a is b  # one shared no-op object
+        assert not a
+        a.set(anything="goes")  # silently ignored
+
+    def test_enabled_span_records_name_duration_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("alloc.search", scheme="jigsaw") as span:
+            span.set(outcome="placed")
+        (event,) = tracer.events
+        assert event["name"] == "alloc.search"
+        assert event["dur"] >= 0.0
+        assert event["attrs"] == {"scheme": "jigsaw", "outcome": "placed"}
+
+    def test_begin_end_pair_matches_context_manager(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.begin("sched.pass")
+        span.set(started=2)
+        tracer.end(span)
+        (event,) = tracer.events
+        assert event["name"] == "sched.pass"
+        assert event["attrs"] == {"started": 2}
+
+    def test_nesting_depth_recorded(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("sched.pass"):
+            with tracer.span("alloc.search"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events}
+        assert by_name["sched.pass"]["depth"] == 0
+        assert by_name["alloc.search"]["depth"] == 1
+
+    def test_sim_time_snapshot(self):
+        tracer = Tracer(enabled=True)
+        tracer.sim_time = 1234.5
+        with tracer.span("sched.pass"):
+            pass
+        tracer.instant("sched.start")
+        assert all(e["sim_time"] == 1234.5 for e in tracer.events)
+
+    def test_max_events_counts_drops(self):
+        tracer = Tracer(enabled=True, max_events=2)
+        for _ in range(5):
+            with tracer.span("sched.pass"):
+                pass
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True, max_events=1)
+        with tracer.span("a"):
+            pass
+        tracer.instant("b")
+        tracer.clear()
+        assert tracer.events == [] and tracer.dropped == 0
+
+
+class TestGlobalTracer:
+    def test_get_returns_disabled_by_default(self):
+        assert get_tracer().enabled is False
+
+    def test_set_swaps_and_returns_previous(self):
+        mine = Tracer(enabled=True)
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestExports:
+    def _tracer(self):
+        tracer = Tracer(enabled=True)
+        tracer.sim_time = 10.0
+        with tracer.span("alloc.search", scheme="ta"):
+            pass
+        tracer.instant("sched.start", {"job": 7})
+        return tracer
+
+    def test_chrome_trace_shape(self):
+        doc = self._tracer().to_chrome_trace()
+        span, instant = doc["traceEvents"]
+        assert span["ph"] == "X" and span["dur"] >= 0
+        assert span["cat"] == "alloc"
+        assert span["args"] == {"scheme": "ta", "sim_time": 10.0}
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert "dur" not in instant
+        for e in (span, instant):
+            assert {"name", "ts", "pid", "tid"} <= set(e)
+
+    def test_chrome_trace_round_trips_through_loader(self, tmp_path):
+        tracer = self._tracer()
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        events = load_trace_events(path)
+        assert [e["name"] for e in events] == ["alloc.search", "sched.start"]
+        assert events[0]["attrs"] == {"scheme": "ta"}
+        assert events[0]["sim_time"] == 10.0
+        assert events[1]["instant"] is True
+
+    def test_jsonl_round_trips_through_loader(self, tmp_path):
+        tracer = self._tracer()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        events = load_trace_events(path)
+        assert events == tracer.events
+
+    def test_write_accepts_file_objects(self):
+        tracer = self._tracer()
+        buf = io.StringIO()
+        tracer.write_chrome_trace(buf)
+        assert json.loads(buf.getvalue())["traceEvents"]
+        buf = io.StringIO()
+        tracer.write_jsonl(buf)
+        assert len(buf.getvalue().splitlines()) == 2
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace_events(path) == []
+
+
+class TestSummarize:
+    def test_rollup_counts_and_instants(self):
+        tracer = Tracer(enabled=True)
+        tracer.sim_time = 0.0
+        for _ in range(3):
+            with tracer.span("alloc.search"):
+                pass
+        tracer.sim_time = 500.0
+        tracer.instant("sched.start")
+        report = summarize_trace(tracer.events)
+        assert "alloc.search" in report
+        assert "      3" in report
+        assert "sched.start" in report and "(instant events)" in report
+        assert "0s .. 500s" in report
+
+    def test_empty_trace(self):
+        assert "(no spans)" in summarize_trace([])

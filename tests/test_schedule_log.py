@@ -89,3 +89,42 @@ class TestExport:
 
     def test_empty_backfill_fraction(self):
         assert ScheduleLog().backfill_fraction == 0.0
+
+
+class TestAttrs:
+    def test_record_accepts_and_stores_attrs(self):
+        log = ScheduleLog()
+        attrs = {"wait": 3.0, "via": "backfill"}
+        log.record(10.0, "start", 1, 4, via="backfill", attrs=attrs)
+        assert log.events[0].attrs is attrs  # shared, not copied
+
+    def test_csv_without_attrs_keeps_five_columns(self):
+        log = ScheduleLog()
+        log.record(0.0, "arrive", 1, 4)
+        buf = io.StringIO()
+        log.to_csv(buf)
+        assert buf.getvalue().splitlines()[0] == "time,kind,job_id,size,via"
+
+    def test_csv_with_attrs_appends_json_column(self):
+        log = ScheduleLog()
+        log.record(0.0, "arrive", 1, 4)
+        log.record(1.0, "start", 1, 4, via="fifo", attrs={"wait": 1.0})
+        buf = io.StringIO()
+        log.to_csv(buf)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == "time,kind,job_id,size,via,attrs"
+        assert lines[1].endswith(",")  # attr-less event: empty cell
+        assert '""wait"": 1.0' in lines[2]
+
+    def test_traced_simulator_shares_attrs_with_instants(self, tree):
+        from repro.obs.tracer import Tracer
+
+        log = ScheduleLog()
+        tracer = Tracer(enabled=True)
+        Simulator(BaselineAllocator(tree), event_log=log,
+                  tracer=tracer).run([Job(id=1, size=4, runtime=1.0)])
+        start = next(e for e in log.events if e.kind == "start")
+        instants = [e for e in tracer.events if e["name"] == "sched.start"]
+        assert start.attrs is instants[0]["attrs"]  # one shared dict
+        assert start.attrs["via"] == "fifo"
+        assert start.attrs["wait"] == 0.0

@@ -40,4 +40,15 @@ class TestTimer:
         assert t.mean >= 0.01
 
     def test_unused_mean_is_zero(self):
-        assert Timer().mean == 0.0
+        # regression: mean on a never-used timer must not divide by zero
+        t = Timer()
+        assert t.mean == 0.0
+        assert t.total == 0.0
+        assert t.count == 0
+
+    def test_total_and_count_alias_seconds_and_calls(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        assert t.total == t.seconds
+        assert t.count == t.calls == 1
