@@ -35,7 +35,10 @@ KNOWN_SPANS = {
     "sched.pass", "backfill.window", "alloc.search", "grid.cell",
     "netsim.converge",
 }
-KNOWN_INSTANTS = {"sched.start", "sched.complete"}
+KNOWN_INSTANTS = {
+    "sched.start", "sched.complete", "sched.kill",
+    "fault.inject", "fault.repair",
+}
 
 _METRIC_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -106,7 +109,7 @@ def check_samples(path: str) -> List[str]:
                 errors.append(f"{where}: util_pct {util!r} outside [0, 100]")
             for field in ("queue_depth", "running_jobs", "free_nodes",
                           "fully_free_leaves", "shard_free_nodes",
-                          "padding_nodes"):
+                          "padding_nodes", "degraded_nodes"):
                 v = row.get(field)
                 if not (isinstance(v, int) and v >= 0):
                     errors.append(f"{where}: {field} {v!r} not a non-negative int")

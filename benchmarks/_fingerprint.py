@@ -34,6 +34,18 @@ runs every scheme twice — telemetry off and fully on (enabled tracer,
 time-series sampler, schedule log, metric registry) — and asserts
 byte-identical scheduling decisions: observation must be strictly
 passive (the contract of :mod:`repro.obs`).
+
+Resilience invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --empty-faults [--scale 0.02]
+    PYTHONPATH=src python benchmarks/_fingerprint.py --faults [--scale 0.02]
+
+``--empty-faults`` runs every scheme with no fault machinery and again
+with an explicitly-empty ``FaultTimeline`` and asserts byte-identical
+decisions (an empty timeline must be a no-op).  ``--faults`` runs a
+seeded MTTF timeline serially and through a 2-worker pool and asserts
+the faulted fingerprints are identical — the timeline and its outcomes
+must thread through the process pool deterministically.
 """
 
 from __future__ import annotations
@@ -160,6 +172,87 @@ def vs_obs(scale: float) -> None:
     )
 
 
+def vs_empty_faults(scale: float) -> None:
+    """Assert an explicitly-empty fault timeline changes nothing."""
+    from repro.sched.resilience import FaultTimeline
+
+    plain = fingerprint(scale)
+    empty = fingerprint(scale, fault_timeline=FaultTimeline())
+    bad = _diff("plain", plain, "empty-timeline", empty)
+    if bad:
+        raise SystemExit(
+            f"plain vs empty-timeline fingerprints differ "
+            f"({bad} of {len(plain)} runs)"
+        )
+    print(
+        f"empty-faults ok: {len(plain)} fingerprints identical "
+        f"(no resilience vs empty timeline, scale {scale})"
+    )
+
+
+def faulted_selfcheck(scale: float, workers: int = 2) -> None:
+    """Assert a seeded-MTTF faulted sweep is pool-invariant.
+
+    The faulted runs also double as resilience accounting checks: the
+    timeline must actually fire, and injects/repairs/goodput must agree
+    between the serial and parallel runs (they are part of the
+    fingerprint here).
+    """
+    kwargs = dict(
+        mttf=20_000.0, fault_seed=1,
+        fault_victim_policy="requeue-remaining", checkpoint_interval=600.0,
+    )
+
+    def faulted(n):
+        out = {}
+        cells = [
+            sim_cell(trace=trace, scheme=scheme, scale=scale, seed=0,
+                     **kwargs)
+            for trace in TRACES
+            for scheme in SCHEMES
+        ]
+        results = iter(run_sim_grid(cells, workers=n))
+        for trace in TRACES:
+            for scheme in SCHEMES:
+                result = next(results)
+                records = [
+                    (r.job_id, r.size, r.arrival, r.start, r.end)
+                    for r in result.jobs
+                ]
+                digest = hashlib.sha256(
+                    json.dumps(records, sort_keys=True).encode()
+                ).hexdigest()
+                out[f"{trace}/{scheme}"] = {
+                    "jobs": len(result.jobs),
+                    "records_sha256": digest,
+                    "makespan": result.makespan,
+                    "faults_injected": result.faults_injected,
+                    "faults_repaired": result.faults_repaired,
+                    "resubmissions": result.resubmissions,
+                    "wasted_node_seconds": result.wasted_node_seconds,
+                    "degraded_node_seconds": result.degraded_node_seconds,
+                }
+        return out
+
+    serial = faulted(1)
+    parallel = faulted(workers)
+    fired = sum(v["faults_injected"] for v in serial.values())
+    if not fired:
+        raise SystemExit("faulted selfcheck injected no faults — "
+                         "the timeline never fired")
+    bad = _diff("serial", serial, "parallel", parallel)
+    if bad:
+        raise SystemExit(
+            f"serial vs {workers}-worker faulted fingerprints differ "
+            f"({bad} of {len(serial)} runs)"
+        )
+    print(
+        f"faults ok: {len(serial)} faulted fingerprints identical "
+        f"({fired} faults fired; serial vs {workers} workers, "
+        f"scale {scale})"
+    )
+
+
 def compare(path: str, scale: float, workers: Optional[int]) -> None:
     """Fingerprint the current code and diff against a saved dump."""
     with open(path) as fh:
@@ -188,6 +281,12 @@ if __name__ == "__main__":
         sys.exit(0)
     if "--obs" in sys.argv:
         vs_obs(scale)
+        sys.exit(0)
+    if "--empty-faults" in sys.argv:
+        vs_empty_faults(scale)
+        sys.exit(0)
+    if "--faults" in sys.argv:
+        faulted_selfcheck(scale, workers=workers or 2)
         sys.exit(0)
     if "--compare" in sys.argv:
         compare(sys.argv[sys.argv.index("--compare") + 1], scale, workers)

@@ -1,0 +1,31 @@
+"""Extension bench: scheduling under failures (fault rate x scheme).
+
+Asserted shape: every scheme survives the faulted replays (faults fire,
+no job is stranded unscheduled), goodput degrades as the fault rate
+rises, and the healthy column reproduces the fault-free baseline."""
+
+from repro.experiments import figresilience
+
+
+def bench_resilience(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: figresilience.resilience_sweep(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig_resilience", figresilience.render(rows))
+
+    for scheme, row in rows.items():
+        assert row["resub mttf=20000"] > 0, (scheme, row)
+        # work is lost under faults, never more than was executed
+        assert 0.0 < row["goodput mttf=20000 %"] <= 100.0, (scheme, row)
+        # more failures, no more goodput
+        assert (
+            row["goodput mttf=20000 %"] <= row["goodput mttf=80000 %"] + 1e-9
+        ), (scheme, row)
+        # faults cost utilization relative to the healthy run (allow a
+        # small tolerance: requeues can serendipitously pack better)
+        assert row["util mttf=20000 %"] <= row["util healthy %"] + 15.0, (
+            scheme,
+            row,
+        )

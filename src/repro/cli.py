@@ -101,6 +101,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                    metavar="SECONDS",
                    help="simulated seconds between time-series samples "
                    "(default 3600 when --samples-out is given)")
+    p.add_argument("--mttf", type=float, default=None, metavar="SECONDS",
+                   help="inject a synthetic per-node fault timeline with "
+                   "this mean time to failure (simulated seconds)")
+    p.add_argument("--mttr", type=float, default=None, metavar="SECONDS",
+                   help="mean time to repair for --mttf faults "
+                   "(default: mttf/10)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the synthetic fault timeline")
+    p.add_argument("--fault-victim-policy", default="requeue-full",
+                   choices=["requeue-full", "requeue-remaining"],
+                   help="what a fault does to jobs on failed hardware")
+    p.add_argument("--checkpoint-interval", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="checkpoint period for requeue-remaining "
+                   "(0 = continuous checkpointing)")
+
+    p = sub.add_parser(
+        "resilience",
+        help="utilization + bounded slowdown under a fault-rate sweep",
+    )
+    _add_common(p)
+    p.add_argument("--trace", default="Synth-16", choices=ALL_TRACE_NAMES)
+    p.add_argument("--mttf", type=float, nargs="+", default=None,
+                   metavar="SECONDS",
+                   help="fault rates to sweep (default: healthy, 80000, "
+                   "20000); the healthy column is always included")
+    p.add_argument("--fault-victim-policy", default="requeue-remaining",
+                   choices=["requeue-full", "requeue-remaining"])
+    p.add_argument("--checkpoint-interval", type=float, default=600.0,
+                   metavar="SECONDS")
+    p.add_argument("--fault-seed", type=int, default=1)
 
     p = sub.add_parser("obs", help="observability utilities")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -206,8 +237,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                             seed=args.seed, tracer=tracer,
                             event_log=event_log,
                             sample_interval=sample_interval,
-                            metrics=registry)
+                            metrics=registry,
+                            mttf=args.mttf, mttr=args.mttr,
+                            fault_seed=args.fault_seed,
+                            fault_victim_policy=args.fault_victim_policy,
+                            checkpoint_interval=args.checkpoint_interval)
         print(result.summary())
+        if result.faults_injected:
+            print(f"faults: {result.faults_injected} injected, "
+                  f"{result.faults_repaired} repaired, "
+                  f"{result.resubmissions} jobs killed+requeued, "
+                  f"{result.wasted_node_seconds:.0f} node-s wasted "
+                  f"(goodput {100 * result.goodput_fraction:.1f}%), "
+                  f"degraded integral "
+                  f"{result.degraded_node_seconds:.0f} node-s")
         print("instantaneous histogram:", result.instant.as_row())
         lookups = result.cache_hits + result.cache_misses
         print(f"feasibility cache: {result.cache_hits}/{lookups} lookups "
@@ -237,6 +280,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             _write_samples(result.samples, args.samples_out)
             print(f"samples: {len(result.samples)} rows "
                   f"(every {sample_interval:g}s) -> {args.samples_out}")
+    elif args.command == "resilience":
+        from repro.experiments import figresilience
+
+        mttf_values = [None]
+        mttf_values += list(
+            args.mttf if args.mttf is not None
+            else [v for v in figresilience.DEFAULT_MTTF_VALUES if v]
+        )
+        rows = figresilience.resilience_sweep(
+            trace_name=args.trace,
+            mttf_values=mttf_values,
+            fault_victim_policy=args.fault_victim_policy,
+            checkpoint_interval=args.checkpoint_interval,
+            fault_seed=args.fault_seed,
+            scale=scale,
+            seed=args.seed,
+            workers=workers,
+        )
+        print(figresilience.render(rows))
     elif args.command == "obs":
         from repro.obs.tracer import load_trace_events, summarize_trace
 

@@ -149,6 +149,13 @@ def run_scheme(
     sampler=None,
     sample_interval: Optional[float] = None,
     metrics=None,
+    fault_timeline=None,
+    mttf: Optional[float] = None,
+    mttr: Optional[float] = None,
+    fault_seed: int = 0,
+    fault_horizon: Optional[float] = None,
+    fault_victim_policy: str = "requeue-full",
+    checkpoint_interval: float = 0.0,
     **allocator_kwargs,
 ) -> SimResult:
     """Simulate ``setup``'s trace under one scheme (and speed-up scenario).
@@ -157,6 +164,20 @@ def run_scheme(
     are always (re)assigned, so a setup reused across runs — the worker
     setup cache in :mod:`repro.experiments.grid` does this — cannot leak
     a previous scenario's speed-ups into a scenario-free run.
+
+    Faults (see :mod:`repro.sched.resilience`):
+
+    * ``fault_timeline`` — an explicit :class:`FaultTimeline` (or spec
+      sequence; plain picklable data, so it threads through the grid
+      engine's process pool unchanged).
+    * ``mttf``/``mttr``/``fault_seed``/``fault_horizon`` — synthesize a
+      per-node timeline instead (mutually exclusive with an explicit
+      one).  The horizon defaults to the trace's last arrival plus the
+      trace's total work divided by the cluster size (a lower bound on
+      the makespan, so bursty traces whose jobs all arrive at t=0 still
+      see faults); the MTTR defaults to one tenth of the MTTF.
+    * ``fault_victim_policy``/``checkpoint_interval`` — what happens to
+      jobs running on failed hardware.
 
     Telemetry (all strictly passive; see :mod:`repro.obs`):
 
@@ -176,6 +197,21 @@ def run_scheme(
         tracer = Tracer(enabled=True)
     if sampler is None and sample_interval is not None:
         sampler = TimeSeriesSampler(sample_interval)
+    if mttf is not None:
+        if fault_timeline is not None:
+            raise ValueError("pass either fault_timeline or mttf, not both")
+        from repro.sched.resilience import FaultTimeline
+
+        horizon = fault_horizon
+        if horizon is None:
+            jobs = setup.trace.jobs
+            work = sum(j.runtime * j.size for j in jobs)
+            horizon = max((j.arrival for j in jobs), default=0.0) + (
+                work / setup.tree.num_nodes
+            )
+        fault_timeline = FaultTimeline.synthetic(
+            setup.tree.num_nodes, mttf, mttr, horizon, seed=fault_seed
+        )
     sim = Simulator(
         allocator,
         backfill_window=backfill_window,
@@ -186,6 +222,9 @@ def run_scheme(
         event_log=event_log,
         tracer=tracer,
         sampler=sampler,
+        fault_timeline=fault_timeline,
+        fault_victim_policy=fault_victim_policy,
+        checkpoint_interval=checkpoint_interval,
     )
     result = sim.run(setup.trace)
     if metrics is not None:

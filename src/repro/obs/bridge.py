@@ -78,6 +78,18 @@ RESULT_METRICS = {
     "candidate_hits": STATS_METRICS["candidate_hits"],
     "memo_hits": STATS_METRICS["memo_hits"],
     "backtrack_steps": STATS_METRICS["backtrack_steps"],
+    "faults_injected": ("repro_fault_injections_total", "counter",
+                        "fault-timeline fail events applied"),
+    "faults_repaired": ("repro_fault_repairs_total", "counter",
+                        "fault-timeline repair events applied"),
+    "resubmissions": ("repro_sim_resubmissions_total", "counter",
+                      "jobs killed by a fault and resubmitted"),
+    "wasted_node_seconds": (
+        "repro_sim_wasted_node_seconds_total", "counter",
+        "node-seconds of execution destroyed by fault kills"),
+    "degraded_node_seconds": (
+        "repro_sim_degraded_node_seconds_total", "counter",
+        "integral of out-of-service nodes over simulated time"),
 }
 
 #: AllocatorStats fields that have no SimResult mirror (bound separately
@@ -132,6 +144,12 @@ def registry_for_result(
         "repro_sim_steady_state_utilization_pct",
         "average utilization over the under-demand portion",
         lambda r=result: r.steady_state_utilization, kind="gauge",
+        labels=labels,
+    )
+    registry.bind(
+        "repro_sim_goodput_fraction",
+        "share of executed node-seconds that survived to completion",
+        lambda r=result: r.goodput_fraction, kind="gauge",
         labels=labels,
     )
     for bin_label in result.instant.counts:

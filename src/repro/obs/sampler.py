@@ -35,6 +35,7 @@ ROW_FIELDS = (
     "fully_free_leaves",
     "shard_free_nodes",
     "padding_nodes",
+    "degraded_nodes",
 )
 
 
@@ -85,7 +86,8 @@ class TimeSeriesSampler:
 
 
 def simulator_row(boundary: float, allocator, pending: int,
-                  running_jobs: int, busy_requested: int) -> Dict[str, Any]:
+                  running_jobs: int, busy_requested: int,
+                  degraded_nodes: int = 0) -> Dict[str, Any]:
     """One sampler row from live simulator state.
 
     Structural fragmentation comes straight from the occupancy indexes
@@ -106,7 +108,8 @@ def simulator_row(boundary: float, allocator, pending: int,
         "free_nodes": int(free),
         "fully_free_leaves": fully_free,
         "shard_free_nodes": int(free - fully_free * tree.m1),
-        "padding_nodes": int(allocated - busy_requested),
+        "padding_nodes": int(allocated - busy_requested - degraded_nodes),
+        "degraded_nodes": int(degraded_nodes),
     }
 
 

@@ -15,6 +15,12 @@ from repro.sched.metrics import (
     JobRecord,
     SimResult,
 )
+from repro.sched.resilience import (
+    VICTIM_POLICIES,
+    FaultSpec,
+    FaultTimeline,
+    ResilienceManager,
+)
 from repro.sched.simulator import Simulator
 from repro.sched.speedup import SCENARIOS, apply_scenario
 
@@ -28,4 +34,8 @@ __all__ = [
     "INSTANT_BINS",
     "SCENARIOS",
     "apply_scenario",
+    "FaultSpec",
+    "FaultTimeline",
+    "ResilienceManager",
+    "VICTIM_POLICIES",
 ]

@@ -18,9 +18,11 @@ from typing import Counter as CounterType
 from collections import Counter
 from typing import Any, Dict, List, Optional, TextIO, Union
 
-#: event kinds, in the order they can occur for one job; "unscheduled"
-#: terminates a job that provably can never start (failure injection)
-KINDS = ("arrive", "start", "complete", "unscheduled")
+#: event kinds, in the order they can occur for one job; "kill"/"requeue"
+#: record a fault-timeline victim being drained and resubmitted (see
+#: :mod:`repro.sched.resilience`); "unscheduled" terminates a job that
+#: provably can never start (failure injection)
+KINDS = ("arrive", "start", "kill", "requeue", "complete", "unscheduled")
 #: how a start happened
 VIAS = ("fifo", "backfill", "reserved")
 

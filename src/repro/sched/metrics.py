@@ -128,6 +128,17 @@ class SimResult:
     #: (see :mod:`repro.obs.sampler`); empty otherwise.  Plain dicts so
     #: the result stays picklable across the grid engine's process pool.
     samples: List[Dict[str, Any]] = field(default_factory=list)
+    #: fault-timeline events applied during the run (zero without a
+    #: timeline — see :mod:`repro.sched.resilience`)
+    faults_injected: int = 0
+    faults_repaired: int = 0
+    #: jobs killed by a fault and resubmitted to the queue
+    resubmissions: int = 0
+    #: node-seconds of execution destroyed by fault kills (work saved by
+    #: the checkpoint model excluded); already included in the busy areas
+    wasted_node_seconds: float = 0.0
+    #: integral of out-of-service (fault-claimed) nodes over time
+    degraded_node_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -168,6 +179,18 @@ class SimResult:
         """Share of allocator feasibility lookups served from cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Share of executed node-seconds that survived to completion.
+
+        ``1.0`` means no work was lost to fault kills; fault-free runs
+        (or runs that did no work at all) report 1.0.
+        """
+        if self.total_busy_area <= 0:
+            return 1.0
+        frac = 1.0 - self.wasted_node_seconds / self.total_busy_area
+        return min(1.0, max(0.0, frac))
 
     def mean_bounded_slowdown(self, tau: float = 10.0) -> float:
         """Mean bounded slowdown (Feitelson's standard fairness metric):

@@ -32,9 +32,22 @@ from repro.obs.sampler import simulator_row
 from repro.sched.backfill import Reservation, compute_reservation, may_backfill
 from repro.sched.job import Job
 from repro.sched.metrics import InstantHistogram, JobRecord, SimResult
+from repro.sched.resilience import (
+    VICTIM_POLICIES,
+    FaultTimeline,
+    ResilienceManager,
+)
 
+# Event kinds, in sort order at equal times: repairs free hardware
+# first, then completions free jobs, then arrivals join the queue, and
+# only then do fault injections land — so a job finishing exactly when
+# its node dies completes rather than being killed.  Fault events carry
+# the timeline index as payload instead of a Job; the unique ``seq``
+# field tie-breaks before the payload is ever compared.
+_FAULT_REPAIR = -1
 _COMPLETION = 0
 _ARRIVAL = 1
+_FAULT_INJECT = 2
 
 
 class Simulator:
@@ -86,6 +99,9 @@ class Simulator:
         event_log=None,
         tracer=None,
         sampler=None,
+        fault_timeline=None,
+        fault_victim_policy: str = "requeue-full",
+        checkpoint_interval: float = 0.0,
     ):
         if not allocator.state.is_idle():
             raise ValueError("allocator must start idle")
@@ -110,6 +126,13 @@ class Simulator:
             raise ValueError(
                 "priority queue orders are only supported with EASY backfilling"
             )
+        if fault_victim_policy not in VICTIM_POLICIES:
+            raise ValueError(
+                f"unknown victim policy {fault_victim_policy!r}; "
+                f"expected one of {VICTIM_POLICIES}"
+            )
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
         self.allocator = allocator
         self.backfill_window = backfill_window
         self.reservation_policy = reservation_policy
@@ -133,6 +156,13 @@ class Simulator:
         #: optional :class:`repro.obs.sampler.TimeSeriesSampler`; when
         #: set, ``run`` fills it and the rows land in ``SimResult.samples``
         self.sampler = sampler
+        #: optional fail/repair timeline consumed by the event loop (see
+        #: :mod:`repro.sched.resilience`); empty = fault-free, with the
+        #: guarantee that the run is event-for-event identical to one
+        #: without any resilience machinery at all
+        self.fault_timeline = FaultTimeline.coerce(fault_timeline)
+        self.fault_victim_policy = fault_victim_policy
+        self.checkpoint_interval = checkpoint_interval
         self.low_interference = allocator.low_interference
         #: the head job's current reservation: (job id, Reservation)
         self._sticky: Optional[Tuple[int, Reservation]] = None
@@ -161,12 +191,18 @@ class Simulator:
                     f"but the cluster has {tree.num_nodes}"
                 )
 
-        # Event heap: (time, kind, seq, job); completions sort before
-        # arrivals at equal times so resources free up first.
+        # Event heap: (time, kind, seq, payload); the kind ordering at
+        # equal times is documented on the kind constants.  The payload
+        # is the Job for arrivals/completions and the timeline index for
+        # fault events.
         seq = count()
-        events: List[Tuple[float, int, int, Job]] = [
+        events: List[Tuple[float, int, int, object]] = [
             (job.arrival, _ARRIVAL, next(seq), job) for job in jobs
         ]
+        for index, spec in enumerate(self.fault_timeline.faults):
+            events.append((spec.start, _FAULT_INJECT, next(seq), index))
+            if spec.end is not None:
+                events.append((spec.end, _FAULT_REPAIR, next(seq), index))
         heapq.heapify(events)
 
         queue: List[Job] = []
@@ -202,9 +238,33 @@ class Simulator:
         if sampler is not None:
             sampler.reset(last_t)
 
+        # Resilience machinery, engaged only for a non-empty timeline.
+        # Every touch point below is gated on ``resilience is not None``
+        # so a fault-free run takes exactly the historical code path —
+        # the empty-timeline fingerprint check holds the gate to that.
+        resilience: Optional[ResilienceManager] = None
+        #: job id -> remaining work as a fraction of the base runtime
+        #: (absent = 1.0); shrinks when a checkpoint survives a kill
+        work_frac: Dict[int, float] = {}
+        #: job id -> seq of its live completion event; a kill orphans
+        #: the heap entry, which is dropped on pop by this check
+        live_comp: Dict[int, int] = {}
+        job_by_id: Dict[int, Job] = {}
+        if self.fault_timeline:
+            resilience = ResilienceManager(
+                self.allocator,
+                self.fault_timeline,
+                self.fault_victim_policy,
+                self.checkpoint_interval,
+                tracer=tracer,
+                event_log=self.event_log,
+            )
+            job_by_id = {job.id: job for job in jobs}
+
         def sample_row(boundary: float) -> dict:
             return simulator_row(
-                boundary, self.allocator, pending, len(running), cur_busy
+                boundary, self.allocator, pending, len(running), cur_busy,
+                resilience.degraded_nodes if resilience is not None else 0,
             )
 
         def advance(t: float) -> None:
@@ -215,6 +275,10 @@ class Simulator:
                 if pending > 0:
                     busy_area += cur_busy * dt
                     demand_area += n_system * dt
+                if resilience is not None:
+                    resilience.stats.degraded_node_seconds += (
+                        resilience.degraded_nodes * dt
+                    )
                 last_t = t
 
         def sample() -> None:
@@ -226,7 +290,11 @@ class Simulator:
 
         def walltime_est(job: Job) -> float:
             """The (possibly overestimated) walltime planning uses."""
-            return job.runtime_under(self.low_interference) * self.estimate_factor
+            est = job.runtime_under(self.low_interference) * self.estimate_factor
+            if resilience is not None:
+                # A checkpoint-restarted job only redoes its lost work.
+                est *= work_frac.get(job.id, 1.0)
+            return est
 
         def try_start(job: Job, now: float, via: str = "fifo") -> bool:
             nonlocal cur_busy
@@ -253,8 +321,13 @@ class Simulator:
                 actual = job.runtime * factor
             else:
                 actual = job.runtime_under(self.low_interference)
+            if resilience is not None:
+                actual *= work_frac.get(job.id, 1.0)
             job.end = now + actual
-            heapq.heappush(events, (job.end, _COMPLETION, next(seq), job))
+            comp_seq = next(seq)
+            heapq.heappush(events, (job.end, _COMPLETION, comp_seq, job))
+            if resilience is not None:
+                live_comp[job.id] = comp_seq
             # Planning sees the *estimated* completion time.
             running[job.id] = (now + actual * self.estimate_factor, eff(job))
             cur_busy += job.size
@@ -309,6 +382,68 @@ class Simulator:
             pheap[:] = live
             heapq.heapify(pheap)
             pheap_stale = 0
+
+        def purge_queued(job: Job) -> None:
+            """Remove a killed job's stale queue entry, if any.
+
+            A job that started out of order leaves its entry in the
+            queue (lazily skipped once the head passes it).  Re-enqueuing
+            the same Job object behind that stale entry would confuse
+            the lazy bookkeeping — backfill would skip the live entry,
+            and after the stale one is pruned the running job could be
+            offered to the allocator twice — so kills purge eagerly.
+            Kills are rare; O(queue) is fine here.
+            """
+            nonlocal pheap_stale
+            if job.id not in started_out_of_order:
+                return
+            started_out_of_order.discard(job.id)
+            if priority_key is None:
+                for i in range(head, len(queue)):
+                    if queue[i] is job:
+                        del queue[i]
+                        return
+            else:
+                live = [e for e in pheap if e[2] is not job]
+                pheap_stale -= len(pheap) - len(live)
+                pheap[:] = live
+                heapq.heapify(pheap)
+
+        def kill_job(job: Job, now: float) -> None:
+            """Drain one fault victim through the ordinary release path
+            and resubmit it per the active queue order."""
+            nonlocal cur_busy
+            elapsed = now - job.start
+            planned = job.end - job.start
+            saved = min(resilience.saved_work(elapsed), planned)
+            self.allocator.release(job.id)
+            if self.runtime_model is not None:
+                self.runtime_model.on_release(job.id)
+            running.pop(job.id)
+            live_comp.pop(job.id, None)
+            cur_busy -= job.size
+            resilience.stats.wasted_node_seconds += (elapsed - saved) * job.size
+            resilience.stats.resubmissions += 1
+            if planned > 0 and saved > 0:
+                frac = work_frac.get(job.id, 1.0)
+                work_frac[job.id] = frac * (1.0 - saved / planned)
+            job.start = -1.0
+            job.end = -1.0
+            if tracer.enabled:
+                attrs = {"job": job.id, "size": job.size,
+                         "elapsed": elapsed, "saved": saved}
+                tracer.instant("sched.kill", attrs)
+                if self.event_log is not None:
+                    self.event_log.record(
+                        now, "kill", job.id, job.size, attrs=attrs
+                    )
+            elif self.event_log is not None:
+                self.event_log.record(now, "kill", job.id, job.size)
+            purge_queued(job)
+            enqueue(job)
+            if self.event_log is not None:
+                self.event_log.record(now, "requeue", job.id, job.size)
+            sample()
 
         def prune_fifo_front() -> None:
             """Advance ``head`` past jobs that already started out of
@@ -517,8 +652,23 @@ class Simulator:
             arrivals = 0
             completions = 0
             while events and events[0][0] == t:
-                _, kind, _, job = heapq.heappop(events)
+                _, kind, ev_seq, payload = heapq.heappop(events)
+                if kind == _FAULT_REPAIR:
+                    resilience.repair(payload, t)
+                    continue
+                if kind == _FAULT_INJECT:
+                    # Victims drain through the ordinary release path
+                    # before the injector claims the hardware.
+                    for victim_id in resilience.victims(payload):
+                        kill_job(job_by_id[victim_id], t)
+                    resilience.inject(payload, t)
+                    continue
+                job = payload
                 if kind == _COMPLETION:
+                    if resilience is not None:
+                        if live_comp.get(job.id) != ev_seq:
+                            continue  # orphaned by a kill; not a completion
+                        live_comp.pop(job.id)
                     self.allocator.release(job.id)
                     if self.runtime_model is not None:
                         self.runtime_model.on_release(job.id)
@@ -591,6 +741,23 @@ class Simulator:
             memo_hits=self.allocator.stats.memo_hits,
             backtrack_steps=self.allocator.stats.backtrack_steps,
             samples=list(sampler.rows) if sampler is not None else [],
+            faults_injected=(
+                resilience.stats.injected if resilience is not None else 0
+            ),
+            faults_repaired=(
+                resilience.stats.repaired if resilience is not None else 0
+            ),
+            resubmissions=(
+                resilience.stats.resubmissions if resilience is not None else 0
+            ),
+            wasted_node_seconds=(
+                resilience.stats.wasted_node_seconds
+                if resilience is not None else 0.0
+            ),
+            degraded_node_seconds=(
+                resilience.stats.degraded_node_seconds
+                if resilience is not None else 0.0
+            ),
         )
 
     # ------------------------------------------------------------------

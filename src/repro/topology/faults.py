@@ -19,14 +19,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import count
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.allocator import Allocator
 from repro.topology.fattree import LinkId, SpineLinkId
-from repro.topology.state import ClusterState
+from repro.topology.state import AllocationError, ClusterState
 
 #: fault claims use job ids below this marker, far outside real id space
 _FAULT_ID_BASE = -(10**9)
+
+#: the fault kinds :meth:`FaultInjector.resolve` understands
+FAULT_KINDS = (
+    "node", "leaf-link", "spine-link", "leaf-switch", "l2-switch", "spine"
+)
 
 
 @dataclass(frozen=True)
@@ -56,71 +61,163 @@ class FaultInjector:
         self._links_cap = getattr(allocator, "links", None)
 
     # ------------------------------------------------------------------
+    def resolve(
+        self, kind: str, target
+    ) -> Tuple[List[int], List[LinkId], List[SpineLinkId]]:
+        """The resource lists ``(nodes, leaf_links, spine_links)`` one
+        fault of ``kind`` on ``target`` takes out of service.
+
+        ``target`` is the fault's plain address: a node id, a
+        ``(leaf, l2_index)`` pair, a ``(pod, l2_index, spine_index)``
+        triple, a ``(leaf,)`` switch, a ``(pod, l2_index)`` L2 switch or
+        a ``(group, spine_index)`` spine — ints or tuples of ints, so a
+        fault spec pickles as plain data (the
+        :mod:`repro.sched.resilience` timeline rides on this).
+        """
+        tree = self.state.tree
+        t = (target,) if isinstance(target, int) else tuple(target)
+        if kind == "node":
+            return [int(t[0])], [], []
+        if kind == "leaf-link":
+            return [], [LinkId(int(t[0]), int(t[1]))], []
+        if kind == "spine-link":
+            return [], [], [SpineLinkId(int(t[0]), int(t[1]), int(t[2]))]
+        if kind == "leaf-switch":
+            leaf = int(t[0])
+            return (
+                list(tree.nodes_of_leaf(leaf)),
+                list(tree.leaf_links_of_leaf(leaf)),
+                [],
+            )
+        if kind == "l2-switch":
+            pod, index = int(t[0]), int(t[1])
+            leaf_links = [
+                LinkId(leaf, index) for leaf in tree.leaves_of_pod(pod)
+            ]
+            return [], leaf_links, list(tree.spine_links_of_l2(pod, index))
+        if kind == "spine":
+            group, index = int(t[0]), int(t[1])
+            return [], [], [
+                SpineLinkId(pod, group, index) for pod in range(tree.num_pods)
+            ]
+        raise ValueError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+        )
+
+    def inject(
+        self,
+        kind: str,
+        target,
+        resources: Optional[
+            Tuple[Sequence[int], Sequence[LinkId], Sequence[SpineLinkId]]
+        ] = None,
+    ) -> FaultTicket:
+        """Fail one ``kind`` fault on ``target`` (plain-data address).
+
+        ``resources`` overrides the resolved resource lists — the
+        resilience layer passes a filtered subset when part of the
+        target is already owned by an earlier, still-active fault.
+        """
+        if resources is None:
+            resources = self.resolve(kind, target)
+        nodes, leaf_links, spine_links = resources
+        return self._claim(
+            kind, self._ticket_target(kind, target),
+            nodes=nodes, leaf_links=leaf_links, spine_links=spine_links,
+        )
+
+    @staticmethod
+    def _ticket_target(kind: str, target):
+        """The human-readable ticket target for a plain-data address."""
+        t = (target,) if isinstance(target, int) else tuple(target)
+        if kind == "node":
+            return int(t[0])
+        if kind == "leaf-link":
+            return LinkId(int(t[0]), int(t[1]))
+        if kind == "spine-link":
+            return SpineLinkId(int(t[0]), int(t[1]), int(t[2]))
+        if kind == "leaf-switch":
+            return ("leaf", int(t[0]))
+        if kind == "l2-switch":
+            return ("l2", int(t[0]), int(t[1]))
+        return ("spine", int(t[0]), int(t[1]))
+
     def _claim(self, kind, target, nodes=(), leaf_links=(), spine_links=()):
         fault_id = next(self._ids)
         self.state.claim(fault_id, nodes, leaf_links, spine_links)
-        bw = False
         if self._links_cap is not None and (leaf_links or spine_links):
-            self._links_cap.claim(
-                fault_id, leaf_links, spine_links, need=self._links_cap.capacity
-            )
+            try:
+                self._links_cap.claim(
+                    fault_id, leaf_links, spine_links,
+                    need=self._links_cap.capacity,
+                )
+            except AllocationError:
+                # Atomicity: the ownership claim above must not leak
+                # when the bandwidth claim fails (an LC+S job still
+                # carries fractional traffic on a target link).
+                self.state.release(fault_id)
+                raise AllocationError(
+                    f"cannot fail {kind} {target!r}: a resident job still "
+                    "carries traffic on a target link (drain it first)"
+                ) from None
             bw = True
+        else:
+            bw = False
+        # Injection shrinks capacity outside Allocator.allocate/release,
+        # so cached verdicts must not be served across it.  The
+        # free-node watermark only catches *growth* in the node count;
+        # link-only faults change no node count at all, so flush
+        # explicitly on every inject path.
+        self.allocator.invalidate_feasibility_cache()
         ticket = FaultTicket(fault_id, kind, target, bw)
         self._tickets[fault_id] = ticket
         return ticket
 
     def fail_node(self, node: int) -> FaultTicket:
         """Take one compute node out of service."""
-        return self._claim("node", node, nodes=[node])
+        return self.inject("node", node)
 
     def fail_leaf_link(self, link: LinkId) -> FaultTicket:
         """Unplug one leaf-to-L2 cable."""
-        return self._claim("leaf-link", link, leaf_links=[link])
+        return self.inject("leaf-link", tuple(link))
 
     def fail_spine_link(self, link: SpineLinkId) -> FaultTicket:
         """Unplug one L2-to-spine cable."""
-        return self._claim("spine-link", link, spine_links=[link])
+        return self.inject("spine-link", tuple(link))
 
     def fail_leaf_switch(self, leaf: int) -> FaultTicket:
         """Drain a whole leaf switch: its nodes and all its uplinks."""
-        tree = self.state.tree
-        return self._claim(
-            "leaf-switch",
-            ("leaf", leaf),
-            nodes=list(tree.nodes_of_leaf(leaf)),
-            leaf_links=list(tree.leaf_links_of_leaf(leaf)),
-        )
+        return self.inject("leaf-switch", (leaf,))
 
     def fail_l2_switch(self, pod: int, index: int) -> FaultTicket:
         """Drain an L2 switch: every cable touching it."""
-        tree = self.state.tree
-        leaf_links = [
-            LinkId(leaf, index) for leaf in tree.leaves_of_pod(pod)
-        ]
-        spine_links = list(tree.spine_links_of_l2(pod, index))
-        return self._claim(
-            "l2-switch", ("l2", pod, index),
-            leaf_links=leaf_links, spine_links=spine_links,
-        )
+        return self.inject("l2-switch", (pod, index))
 
     def fail_spine(self, group: int, index: int) -> FaultTicket:
         """Drain a spine switch: its cable to every pod."""
-        tree = self.state.tree
-        spine_links = [
-            SpineLinkId(pod, group, index) for pod in range(tree.num_pods)
-        ]
-        return self._claim(
-            "spine", ("spine", group, index), spine_links=spine_links
-        )
+        return self.inject("spine", (group, index))
 
     # ------------------------------------------------------------------
     def repair(self, ticket: FaultTicket) -> None:
-        """Return the failed resources to service."""
+        """Return the failed resources to service.
+
+        Idempotent-safe: each half of the claim (ownership, bandwidth)
+        is released tolerantly, so a repair that previously failed
+        half-way — or a bandwidth id that was already returned — cannot
+        leave the ticket permanently stuck.  The ticket is deleted only
+        after both releases have been attempted.
+        """
         if ticket.fault_id not in self._tickets:
             raise ValueError(f"unknown or already-repaired fault {ticket}")
-        self.state.release(ticket.fault_id)
+        try:
+            self.state.release(ticket.fault_id)
+        except AllocationError:
+            pass  # already released by a partially-completed repair
         if ticket.bw_claimed and self._links_cap is not None:
-            self._links_cap.release(ticket.fault_id)
+            try:
+                self._links_cap.release(ticket.fault_id)
+            except AllocationError:
+                pass  # bandwidth id absent: already released
         # Repaired hardware grows free capacity outside Allocator.release,
         # so cached infeasibility verdicts are no longer trustworthy.
         self.allocator.invalidate_feasibility_cache()

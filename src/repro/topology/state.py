@@ -518,6 +518,27 @@ class LinkCapacityState:
             self.spine_bw[pod][i][j] += need
         self._claims[job_id] = (tuple(leaf_links), tuple(spine_links), need)
 
+    def claimants(
+        self,
+        leaf_links: Sequence[LinkId] = (),
+        spine_links: Sequence[SpineLinkId] = (),
+    ) -> Tuple[int, ...]:
+        """Ids of every claim charged on any of the given links, sorted.
+
+        The resilience layer uses this to find the jobs that must be
+        drained before a shared link can be failed (fault claims appear
+        too — callers filter by id sign).
+        """
+        targets_leaf = set(leaf_links)
+        targets_spine = set(spine_links)
+        owners = set()
+        for job_id, (job_leaf, job_spine, _need) in self._claims.items():
+            if targets_leaf.intersection(job_leaf) or targets_spine.intersection(
+                job_spine
+            ):
+                owners.add(job_id)
+        return tuple(sorted(owners))
+
     def release(self, job_id: int) -> None:
         """Return a job's bandwidth on every link it was charged on."""
         try:

@@ -115,6 +115,61 @@ class TestWithLinkSharing:
         assert allocator.links.leaf_mask(0, 0.5) & 1
 
 
+class TestInjectorBugfixes:
+    """Regression tests for the three FaultInjector correctness fixes."""
+
+    def test_failed_inject_rolls_back_ownership_claim(self, tree):
+        # An LC+S job carries fractional traffic on its leaf links, so
+        # failing one must be rejected — and the rejection must not
+        # leak the ownership claim made before the bandwidth claim.
+        allocator = make_allocator("lc+s", tree)
+        alloc = allocator.allocate(1, 2 * tree.m1)  # spans >= 2 leaves
+        assert alloc is not None and alloc.leaf_links
+        injector = FaultInjector(allocator)
+        link = alloc.leaf_links[0]
+        with pytest.raises(Exception) as exc:
+            injector.fail_leaf_link(link)
+        assert "drain" in str(exc.value)
+        assert injector.active_faults == []
+        allocator.state.audit()
+        # The definitive no-leak check: once the job drains, the same
+        # link is failable.  A leaked ownership claim would block it.
+        allocator.release(1)
+        ticket = injector.fail_leaf_link(link)
+        assert ticket.bw_claimed
+        injector.repair(ticket)
+        assert allocator.state.is_idle()
+
+    def test_inject_invalidates_feasibility_cache(self, tree):
+        # Link-only faults change no node count, so the free-node
+        # watermark cannot catch them; injection must flush explicitly.
+        allocator = make_allocator("jigsaw", tree)
+        assert allocator.allocate(1, 4) is not None
+        assert not allocator.can_allocate(tree.num_nodes)
+        assert allocator.feasibility_cache_size == 1
+        injector = FaultInjector(allocator)
+        injector.fail_spine_link(SpineLinkId(0, 0, 0))
+        assert allocator.feasibility_cache_size == 0
+        misses = allocator.stats.cache_misses
+        assert not allocator.can_allocate(tree.num_nodes)
+        assert allocator.stats.cache_misses == misses + 1  # re-derived
+
+    def test_repair_idempotent_after_partial_release(self, tree):
+        # Simulate a half-completed repair: the bandwidth claim is
+        # already gone.  Repair must still finish (tolerant releases,
+        # ticket deleted last) instead of sticking half-repaired.
+        allocator = make_allocator("lc+s", tree)
+        injector = FaultInjector(allocator)
+        ticket = injector.fail_leaf_link(LinkId(0, 0))
+        assert ticket.bw_claimed
+        allocator.links.release(ticket.fault_id)
+        injector.repair(ticket)  # must not raise
+        assert injector.active_faults == []
+        assert allocator.links.leaf_mask(0, 0.5) & 1
+        assert allocator.state.is_idle()
+        allocator.state.audit()
+
+
 class TestDegradedOperation:
     def test_conditions_hold_under_random_faults(self, tree):
         rng = random.Random(4)
