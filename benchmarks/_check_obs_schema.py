@@ -32,8 +32,8 @@ from typing import Dict, List, Tuple
 
 #: the span/instant names the instrumentation may emit
 KNOWN_SPANS = {
-    "sched.pass", "backfill.window", "alloc.search", "grid.cell",
-    "netsim.converge",
+    "sched.pass", "sched.round", "backfill.window", "alloc.search",
+    "grid.cell", "netsim.converge",
 }
 KNOWN_INSTANTS = {
     "sched.start", "sched.complete", "sched.kill",
@@ -113,6 +113,11 @@ def check_samples(path: str) -> List[str]:
                 v = row.get(field)
                 if not (isinstance(v, int) and v >= 0):
                     errors.append(f"{where}: {field} {v!r} not a non-negative int")
+            lag = row.get("step_lag")
+            if not (isinstance(lag, (int, float)) and lag >= 0.0):
+                errors.append(
+                    f"{where}: step_lag {lag!r} not a non-negative number"
+                )
             stream = (str(row.get("trace", "")), str(row.get("scheme", "")))
             t = row.get("t")
             if isinstance(t, (int, float)):

@@ -46,6 +46,17 @@ decisions (an empty timeline must be a no-op).  ``--faults`` runs a
 seeded MTTF timeline serially and through a 2-worker pool and asserts
 the faulted fingerprints are identical — the timeline and its outcomes
 must thread through the process pool deterministically.
+
+Batch-step invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --batch [--scale 0.02]
+
+runs every scheme in batch-step mode (``step_interval=300``) serially
+and through a 2-worker pool and asserts the fingerprints are identical:
+the batch drive mode must be exactly as deterministic and
+pool-invariant as event-driven replay (its *fidelity* against
+event-driven replay is a separate question —
+``benchmarks/bench_batch_fidelity.py``).
 """
 
 from __future__ import annotations
@@ -253,6 +264,27 @@ def faulted_selfcheck(scale: float, workers: int = 2) -> None:
     )
 
 
+def batch_selfcheck(
+    scale: float, workers: int = 2, step_interval: float = 300.0
+) -> None:
+    """Assert batch-step fingerprints are serial/parallel invariant."""
+    serial = fingerprint(scale, workers=1, step_interval=step_interval)
+    parallel = fingerprint(
+        scale, workers=workers, step_interval=step_interval
+    )
+    bad = _diff("serial", serial, "parallel", parallel)
+    if bad:
+        raise SystemExit(
+            f"serial vs {workers}-worker batch-step fingerprints differ "
+            f"({bad} of {len(serial)} runs)"
+        )
+    print(
+        f"batch ok: {len(serial)} batch-step fingerprints identical "
+        f"(dt={step_interval:g}s, serial vs {workers} workers, "
+        f"scale {scale})"
+    )
+
+
 def compare(path: str, scale: float, workers: Optional[int]) -> None:
     """Fingerprint the current code and diff against a saved dump."""
     with open(path) as fh:
@@ -287,6 +319,9 @@ if __name__ == "__main__":
         sys.exit(0)
     if "--faults" in sys.argv:
         faulted_selfcheck(scale, workers=workers or 2)
+        sys.exit(0)
+    if "--batch" in sys.argv:
+        batch_selfcheck(scale, workers=workers or 2)
         sys.exit(0)
     if "--compare" in sys.argv:
         compare(sys.argv[sys.argv.index("--compare") + 1], scale, workers)

@@ -116,6 +116,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                    metavar="SECONDS",
                    help="checkpoint period for requeue-remaining "
                    "(0 = continuous checkpointing)")
+    p.add_argument("--step-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="batch-step scheduling: run rounds every this many "
+                   "simulated seconds instead of a pass per event (faster "
+                   "on bursty traces; bounded fidelity cost — see "
+                   "EXPERIMENTS.md)")
 
     p = sub.add_parser(
         "resilience",
@@ -241,8 +247,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                             mttf=args.mttf, mttr=args.mttr,
                             fault_seed=args.fault_seed,
                             fault_victim_policy=args.fault_victim_policy,
-                            checkpoint_interval=args.checkpoint_interval)
+                            checkpoint_interval=args.checkpoint_interval,
+                            step_interval=args.step_interval)
         print(result.summary())
+        if result.step_interval is not None:
+            print(f"batch-step: {result.scheduling_rounds} rounds at "
+                  f"dt={result.step_interval:g}s")
         if result.faults_injected:
             print(f"faults: {result.faults_injected} injected, "
                   f"{result.faults_repaired} repaired, "

@@ -111,7 +111,9 @@ def sim_cell(
     """A standard simulation cell (the ``sim`` task).
 
     Extra keyword arguments are forwarded to :func:`run_scheme`
-    (``backfill_window``, ``queue_order``, allocator options, ...).
+    (``backfill_window``, ``queue_order``, ``step_interval``, allocator
+    options, ...); they must stay plain picklable values so the cell
+    crosses the process pool unchanged.
     """
     return cell(
         _sim_task,

@@ -156,6 +156,7 @@ def run_scheme(
     fault_horizon: Optional[float] = None,
     fault_victim_policy: str = "requeue-full",
     checkpoint_interval: float = 0.0,
+    step_interval: Optional[float] = None,
     **allocator_kwargs,
 ) -> SimResult:
     """Simulate ``setup``'s trace under one scheme (and speed-up scenario).
@@ -178,6 +179,11 @@ def run_scheme(
       see faults); the MTTR defaults to one tenth of the MTTF.
     * ``fault_victim_policy``/``checkpoint_interval`` — what happens to
       jobs running on failed hardware.
+
+    ``step_interval`` selects batch-step scheduling rounds every Δt
+    simulated seconds instead of a pass per event batch (see
+    :class:`repro.sched.simulator.Simulator`); a plain float, so it
+    pickles through the grid engine's process pool unchanged.
 
     Telemetry (all strictly passive; see :mod:`repro.obs`):
 
@@ -225,6 +231,7 @@ def run_scheme(
         fault_timeline=fault_timeline,
         fault_victim_policy=fault_victim_policy,
         checkpoint_interval=checkpoint_interval,
+        step_interval=step_interval,
     )
     result = sim.run(setup.trace)
     if metrics is not None:

@@ -90,6 +90,8 @@ RESULT_METRICS = {
     "degraded_node_seconds": (
         "repro_sim_degraded_node_seconds_total", "counter",
         "integral of out-of-service nodes over simulated time"),
+    "scheduling_rounds": ("repro_sched_rounds_total", "counter",
+                          "scheduling passes run (batch-step rounds)"),
 }
 
 #: AllocatorStats fields that have no SimResult mirror (bound separately

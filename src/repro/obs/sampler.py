@@ -36,6 +36,7 @@ ROW_FIELDS = (
     "shard_free_nodes",
     "padding_nodes",
     "degraded_nodes",
+    "step_lag",
 )
 
 
@@ -87,7 +88,8 @@ class TimeSeriesSampler:
 
 def simulator_row(boundary: float, allocator, pending: int,
                   running_jobs: int, busy_requested: int,
-                  degraded_nodes: int = 0) -> Dict[str, Any]:
+                  degraded_nodes: int = 0,
+                  step_lag: float = 0.0) -> Dict[str, Any]:
     """One sampler row from live simulator state.
 
     Structural fragmentation comes straight from the occupancy indexes
@@ -110,6 +112,10 @@ def simulator_row(boundary: float, allocator, pending: int,
         "shard_free_nodes": int(free - fully_free * tree.m1),
         "padding_nodes": int(allocated - busy_requested - degraded_nodes),
         "degraded_nodes": int(degraded_nodes),
+        # Simulated seconds since the last scheduling pass: ~0 under
+        # event-driven replay, up to step_interval in batch-step mode
+        # (the start-lag a queued job can pay waiting for the round).
+        "step_lag": round(float(step_lag), 6),
     }
 
 

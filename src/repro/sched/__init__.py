@@ -7,6 +7,13 @@ utilization, turnaround times, makespan, instantaneous utilization and
 scheduling time.
 """
 
+from repro.sched.eventcore import (
+    ArrayEventQueue,
+    CompletionQueue,
+    EventStreams,
+    JobTable,
+    round_boundary,
+)
 from repro.sched.interference import ContentionRuntimeModel
 from repro.sched.job import Job
 from repro.sched.metrics import (
@@ -14,6 +21,7 @@ from repro.sched.metrics import (
     InstantHistogram,
     JobRecord,
     SimResult,
+    fidelity_report,
 )
 from repro.sched.resilience import (
     VICTIM_POLICIES,
@@ -25,10 +33,16 @@ from repro.sched.simulator import Simulator
 from repro.sched.speedup import SCENARIOS, apply_scenario
 
 __all__ = [
+    "ArrayEventQueue",
+    "CompletionQueue",
     "ContentionRuntimeModel",
+    "EventStreams",
     "Job",
+    "JobTable",
     "Simulator",
     "SimResult",
+    "fidelity_report",
+    "round_boundary",
     "JobRecord",
     "InstantHistogram",
     "INSTANT_BINS",

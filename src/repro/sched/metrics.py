@@ -139,6 +139,12 @@ class SimResult:
     wasted_node_seconds: float = 0.0
     #: integral of out-of-service (fault-claimed) nodes over time
     degraded_node_seconds: float = 0.0
+    #: scheduling passes run; under batch-step mode this is the round
+    #: count (far below the event count on bursty traces), under
+    #: event-driven replay one per event batch
+    scheduling_rounds: int = 0
+    #: the batch-step Δt the run used (None = event-driven)
+    step_interval: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -258,6 +264,46 @@ class SimResult:
 
 def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else float("nan")
+
+
+def fidelity_report(event: SimResult, batch: SimResult) -> Dict[str, float]:
+    """Deltas of a batch-step run against its event-driven ground truth.
+
+    Both results must come from the same trace and scheme; the report
+    quantifies what the coarser scheduling grid cost (or saved):
+    utilization in percentage points, turnaround/makespan/wait
+    relatively, plus the round and allocator-attempt ratios that explain
+    *why* batch mode is cheaper.  ``benchmarks/bench_batch_fidelity.py``
+    tabulates this per scheme.
+    """
+    if (event.trace_name, event.scheme) != (batch.trace_name, batch.scheme):
+        raise ValueError(
+            "fidelity_report compares one (trace, scheme) pair: "
+            f"{(event.trace_name, event.scheme)} vs "
+            f"{(batch.trace_name, batch.scheme)}"
+        )
+
+    def _rel(a: float, b: float) -> float:
+        return 100.0 * (b - a) / a if a else float("nan")
+
+    return {
+        "util_delta_pp": (
+            batch.steady_state_utilization - event.steady_state_utilization
+        ),
+        "turnaround_delta_pct": _rel(
+            event.mean_turnaround, batch.mean_turnaround
+        ),
+        "wait_delta_s": batch.mean_wait - event.mean_wait,
+        "makespan_delta_pct": _rel(event.makespan, batch.makespan),
+        "rounds_ratio": (
+            batch.scheduling_rounds / event.scheduling_rounds
+            if event.scheduling_rounds else float("nan")
+        ),
+        "attempts_ratio": (
+            batch.alloc_attempts / event.alloc_attempts
+            if event.alloc_attempts else float("nan")
+        ),
+    }
 
 
 def utilization_timeline(

@@ -12,6 +12,32 @@ The simulator replays a job-queue trace against one allocator:
 * metrics are accumulated exactly as section 5 defines them
   (:mod:`repro.sched.metrics`).
 
+The implementation is split into two layers:
+
+* the **event core** (:mod:`repro.sched.eventcore`) holds the trace as
+  a column-array job table and the four event streams (arrivals,
+  completions, fault repairs, fault injections) on sorted numpy arrays,
+  merged one *round* at a time;
+* the **policy layer** (:class:`_RunState`, below) holds the mutable
+  scheduling state of one run — queue, reservations, running set,
+  areas — and applies the drained events and scheduling passes.
+
+Two drive modes share that machinery:
+
+* **event-driven** (``step_interval=None``, the default): every round
+  covers exactly one event timestamp and a scheduling pass follows
+  every event batch — the classic discrete-event replay, held
+  bit-identical across refactors by ``benchmarks/_fingerprint.py``;
+* **batch-step** (``step_interval=Δt``): scheduling runs on the fixed
+  grid ``t0 + k·Δt`` (Firmament's ``batch_step_seconds`` shape).
+  Arrivals, completions and fault events accumulate between rounds;
+  each round first drains everything up to its boundary in event order,
+  then runs one scheduling pass.  Jobs start only at round boundaries,
+  trading a bounded start lag (≤ Δt, surfaced as the ``step_lag``
+  sampler column) for far fewer scheduling passes on bursty traces —
+  the fidelity/throughput trade is quantified by
+  ``benchmarks/bench_batch_fidelity.py``.
+
 Within one scheduling pass, allocation failures are memoized by
 (effective size, bandwidth need): state only shrinks during a pass, so a
 failed size stays failed — this makes wide backfill windows cheap
@@ -25,11 +51,22 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.allocator import Allocator
 from repro.obs.sampler import simulator_row
 from repro.sched.backfill import Reservation, compute_reservation, may_backfill
+from repro.sched.eventcore import (
+    ARRIVAL,
+    COMPLETION,
+    FAULT_INJECT,
+    FAULT_REPAIR,
+    ArrayEventQueue,
+    CompletionQueue,
+    EventStreams,
+    JobTable,
+    round_boundary,
+)
 from repro.sched.job import Job
 from repro.sched.metrics import InstantHistogram, JobRecord, SimResult
 from repro.sched.resilience import (
@@ -38,16 +75,12 @@ from repro.sched.resilience import (
     ResilienceManager,
 )
 
-# Event kinds, in sort order at equal times: repairs free hardware
-# first, then completions free jobs, then arrivals join the queue, and
-# only then do fault injections land — so a job finishing exactly when
-# its node dies completes rather than being killed.  Fault events carry
-# the timeline index as payload instead of a Job; the unique ``seq``
-# field tie-breaks before the payload is ever compared.
-_FAULT_REPAIR = -1
-_COMPLETION = 0
-_ARRIVAL = 1
-_FAULT_INJECT = 2
+# Backward-compatible aliases: the kind constants moved to eventcore
+# (their equal-time ordering is documented there).
+_FAULT_REPAIR = FAULT_REPAIR
+_COMPLETION = COMPLETION
+_ARRIVAL = ARRIVAL
+_FAULT_INJECT = FAULT_INJECT
 
 
 class Simulator:
@@ -60,6 +93,11 @@ class Simulator:
     backfill_window:
         How many queued jobs past the head EASY may consider (the paper
         uses 50; 0 disables backfilling, i.e. pure FIFO).
+    step_interval:
+        ``None`` (default) replays event-driven: one scheduling pass per
+        event batch.  A positive Δt selects batch-step mode: scheduling
+        rounds on the grid ``first_event + k·Δt``, with events
+        accumulating between rounds (see the module docstring).
     """
 
     #: how the head's reservation evolves while it waits:
@@ -102,6 +140,7 @@ class Simulator:
         fault_timeline=None,
         fault_victim_policy: str = "requeue-full",
         checkpoint_interval: float = 0.0,
+        step_interval: Optional[float] = None,
     ):
         if not allocator.state.is_idle():
             raise ValueError("allocator must start idle")
@@ -133,6 +172,8 @@ class Simulator:
             )
         if checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be non-negative")
+        if step_interval is not None and step_interval <= 0:
+            raise ValueError("step_interval must be positive (or None)")
         self.allocator = allocator
         self.backfill_window = backfill_window
         self.reservation_policy = reservation_policy
@@ -163,6 +204,8 @@ class Simulator:
         self.fault_timeline = FaultTimeline.coerce(fault_timeline)
         self.fault_victim_policy = fault_victim_policy
         self.checkpoint_interval = checkpoint_interval
+        #: batch-step round length (None = event-driven)
+        self.step_interval = step_interval
         self.low_interference = allocator.low_interference
         #: the head job's current reservation: (job id, Reservation)
         self._sticky: Optional[Tuple[int, Reservation]] = None
@@ -184,581 +227,19 @@ class Simulator:
         tree = self.allocator.tree
         for job in jobs:
             job.reset()
-            if self.allocator.effective_size(job.size) > tree.num_nodes:
-                raise ValueError(
-                    f"job {job.id} needs {job.size} nodes "
-                    f"(effective {self.allocator.effective_size(job.size)}) "
-                    f"but the cluster has {tree.num_nodes}"
-                )
-
-        # Event heap: (time, kind, seq, payload); the kind ordering at
-        # equal times is documented on the kind constants.  The payload
-        # is the Job for arrivals/completions and the timeline index for
-        # fault events.
-        seq = count()
-        events: List[Tuple[float, int, int, object]] = [
-            (job.arrival, _ARRIVAL, next(seq), job) for job in jobs
-        ]
-        for index, spec in enumerate(self.fault_timeline.faults):
-            events.append((spec.start, _FAULT_INJECT, next(seq), index))
-            if spec.end is not None:
-                events.append((spec.end, _FAULT_REPAIR, next(seq), index))
-        heapq.heapify(events)
-
-        queue: List[Job] = []
-        head = 0
-        #: priority heap used instead of the FIFO list for non-FIFO orders
-        pheap: List[Tuple[float, int, Job]] = []
-        started_out_of_order: set = set()
-        #: stale pheap entries (jobs that already started out of order);
-        #: in priority mode ``started_out_of_order`` holds exactly the
-        #: ids of these entries, so the two counts track together
-        pheap_stale = 0
-        pending = 0
-        running: Dict[int, Tuple[float, int]] = {}
-        cur_busy = 0  # requested nodes currently computing
-
-        instant = InstantHistogram()
-        busy_area = 0.0
-        demand_area = 0.0
-        total_busy_area = 0.0
-        last_t = min((j.arrival for j in jobs), default=0.0)
-        n_system = tree.num_nodes
-        unscheduled: List[int] = []
-
-        # Telemetry (strictly passive: nothing below may influence a
-        # scheduling decision — benchmarks/_fingerprint.py --obs holds
-        # the whole stack to that).
-        tracer = self.tracer if self.tracer is not None else self.allocator.tracer
-        if self.tracer is not None:
-            self.allocator.tracer = tracer
-        if tracer.enabled:
-            tracer.sim_time = last_t
-        sampler = self.sampler
-        if sampler is not None:
-            sampler.reset(last_t)
-
-        # Resilience machinery, engaged only for a non-empty timeline.
-        # Every touch point below is gated on ``resilience is not None``
-        # so a fault-free run takes exactly the historical code path —
-        # the empty-timeline fingerprint check holds the gate to that.
-        resilience: Optional[ResilienceManager] = None
-        #: job id -> remaining work as a fraction of the base runtime
-        #: (absent = 1.0); shrinks when a checkpoint survives a kill
-        work_frac: Dict[int, float] = {}
-        #: job id -> seq of its live completion event; a kill orphans
-        #: the heap entry, which is dropped on pop by this check
-        live_comp: Dict[int, int] = {}
-        job_by_id: Dict[int, Job] = {}
-        if self.fault_timeline:
-            resilience = ResilienceManager(
-                self.allocator,
-                self.fault_timeline,
-                self.fault_victim_policy,
-                self.checkpoint_interval,
-                tracer=tracer,
-                event_log=self.event_log,
-            )
-            job_by_id = {job.id: job for job in jobs}
-
-        def sample_row(boundary: float) -> dict:
-            return simulator_row(
-                boundary, self.allocator, pending, len(running), cur_busy,
-                resilience.degraded_nodes if resilience is not None else 0,
-            )
-
-        def advance(t: float) -> None:
-            nonlocal busy_area, demand_area, total_busy_area, last_t
-            dt = t - last_t
-            if dt > 0:
-                total_busy_area += cur_busy * dt
-                if pending > 0:
-                    busy_area += cur_busy * dt
-                    demand_area += n_system * dt
-                if resilience is not None:
-                    resilience.stats.degraded_node_seconds += (
-                        resilience.degraded_nodes * dt
-                    )
-                last_t = t
-
-        def sample() -> None:
-            if pending > 0:
-                instant.add(100.0 * cur_busy / n_system)
-
-        def eff(job: Job) -> int:
-            return self.allocator.effective_size(job.size)
-
-        def walltime_est(job: Job) -> float:
-            """The (possibly overestimated) walltime planning uses."""
-            est = job.runtime_under(self.low_interference) * self.estimate_factor
-            if resilience is not None:
-                # A checkpoint-restarted job only redoes its lost work.
-                est *= work_frac.get(job.id, 1.0)
-            return est
-
-        def try_start(job: Job, now: float, via: str = "fifo") -> bool:
-            nonlocal cur_busy
-            alloc = self.allocator.allocate(job.id, job.size, bw_need=job.bw_need)
-            if alloc is None:
-                return False
-            if tracer.enabled:
-                # One dict serves both sinks: the trace's instant event
-                # and the audit log's attrs column stay joinable.
-                attrs = {"wait": now - job.arrival, "via": via,
-                         "job": job.id, "size": job.size}
-                tracer.instant("sched.start", attrs)
-                if self.event_log is not None:
-                    self.event_log.record(
-                        now, "start", job.id, job.size, via, attrs=attrs
-                    )
-            elif self.event_log is not None:
-                self.event_log.record(now, "start", job.id, job.size, via)
-            job.start = now
-            if self.runtime_model is not None:
-                factor = self.runtime_model.on_start(
-                    alloc, self.allocator.isolating
-                )
-                actual = job.runtime * factor
-            else:
-                actual = job.runtime_under(self.low_interference)
-            if resilience is not None:
-                actual *= work_frac.get(job.id, 1.0)
-            job.end = now + actual
-            comp_seq = next(seq)
-            heapq.heappush(events, (job.end, _COMPLETION, comp_seq, job))
-            if resilience is not None:
-                live_comp[job.id] = comp_seq
-            # Planning sees the *estimated* completion time.
-            running[job.id] = (now + actual * self.estimate_factor, eff(job))
-            cur_busy += job.size
-            return True
-
-        priority_key = None
-        if self.queue_order == "sjf":
-            priority_key = walltime_est
-        elif self.queue_order == "smallest":
-            priority_key = lambda job: job.size  # noqa: E731
-        elif self.queue_order == "largest":
-            priority_key = lambda job: -job.size  # noqa: E731
-
-        def enqueue(job: Job) -> None:
-            nonlocal pending
-            if priority_key is None:
-                queue.append(job)
-                self.peak_queue_len = max(self.peak_queue_len, len(queue))
-            else:
-                heapq.heappush(pheap, (priority_key(job), next(seq), job))
-                self.peak_queue_len = max(self.peak_queue_len, len(pheap))
-            pending += 1
-
-        def note_started_out_of_order(job_id: int) -> None:
-            nonlocal pheap_stale
-            started_out_of_order.add(job_id)
-            self.peak_started_out_of_order = max(
-                self.peak_started_out_of_order, len(started_out_of_order)
-            )
-            if priority_key is not None:
-                pheap_stale += 1
-                self.peak_pheap_stale = max(self.peak_pheap_stale, pheap_stale)
-                compact_pheap()
-
-        def compact_pheap() -> None:
-            """Rebuild the priority heap without its stale entries once
-            they dominate it.  Amortized O(1) per event; pure
-            bookkeeping — the set of live entries (and hence every
-            scheduling decision) is unchanged.  Without this, each
-            ``window_candidates`` snapshot pays O(Q log Q) as the stale
-            share grows on long traces."""
-            nonlocal pheap_stale
-            if (
-                pheap_stale < self.PHEAP_COMPACT_MIN
-                or pheap_stale * 2 < len(pheap)
-            ):
-                return
-            live = [e for e in pheap if e[2].id not in started_out_of_order]
-            started_out_of_order.difference_update(
-                e[2].id for e in pheap if e[2].id in started_out_of_order
-            )
-            pheap[:] = live
-            heapq.heapify(pheap)
-            pheap_stale = 0
-
-        def purge_queued(job: Job) -> None:
-            """Remove a killed job's stale queue entry, if any.
-
-            A job that started out of order leaves its entry in the
-            queue (lazily skipped once the head passes it).  Re-enqueuing
-            the same Job object behind that stale entry would confuse
-            the lazy bookkeeping — backfill would skip the live entry,
-            and after the stale one is pruned the running job could be
-            offered to the allocator twice — so kills purge eagerly.
-            Kills are rare; O(queue) is fine here.
-            """
-            nonlocal pheap_stale
-            if job.id not in started_out_of_order:
-                return
-            started_out_of_order.discard(job.id)
-            if priority_key is None:
-                for i in range(head, len(queue)):
-                    if queue[i] is job:
-                        del queue[i]
-                        return
-            else:
-                live = [e for e in pheap if e[2] is not job]
-                pheap_stale -= len(pheap) - len(live)
-                pheap[:] = live
-                heapq.heapify(pheap)
-
-        def kill_job(job: Job, now: float) -> None:
-            """Drain one fault victim through the ordinary release path
-            and resubmit it per the active queue order."""
-            nonlocal cur_busy
-            elapsed = now - job.start
-            planned = job.end - job.start
-            saved = min(resilience.saved_work(elapsed), planned)
-            self.allocator.release(job.id)
-            if self.runtime_model is not None:
-                self.runtime_model.on_release(job.id)
-            running.pop(job.id)
-            live_comp.pop(job.id, None)
-            cur_busy -= job.size
-            resilience.stats.wasted_node_seconds += (elapsed - saved) * job.size
-            resilience.stats.resubmissions += 1
-            if planned > 0 and saved > 0:
-                frac = work_frac.get(job.id, 1.0)
-                work_frac[job.id] = frac * (1.0 - saved / planned)
-            job.start = -1.0
-            job.end = -1.0
-            if tracer.enabled:
-                attrs = {"job": job.id, "size": job.size,
-                         "elapsed": elapsed, "saved": saved}
-                tracer.instant("sched.kill", attrs)
-                if self.event_log is not None:
-                    self.event_log.record(
-                        now, "kill", job.id, job.size, attrs=attrs
-                    )
-            elif self.event_log is not None:
-                self.event_log.record(now, "kill", job.id, job.size)
-            purge_queued(job)
-            enqueue(job)
-            if self.event_log is not None:
-                self.event_log.record(now, "requeue", job.id, job.size)
-            sample()
-
-        def prune_fifo_front() -> None:
-            """Advance ``head`` past jobs that already started out of
-            order (pruning them from the tracking set — once the head
-            passes a job it can never be looked up again) and compact
-            the FIFO list once at least half of it is dead prefix.  Both
-            are amortized O(1) per event; without them ``queue`` and
-            ``started_out_of_order`` grow with every job ever enqueued."""
-            nonlocal head
-            while head < len(queue) and queue[head].id in started_out_of_order:
-                started_out_of_order.discard(queue[head].id)
-                head += 1
-            if head >= 64 and head * 2 >= len(queue):
-                del queue[:head]
-                head = 0
-
-        def peek_head() -> Optional[Job]:
-            nonlocal pheap_stale
-            if priority_key is None:
-                prune_fifo_front()
-                return queue[head] if head < len(queue) else None
-            while pheap and pheap[0][2].id in started_out_of_order:
-                started_out_of_order.discard(pheap[0][2].id)
-                heapq.heappop(pheap)
-                pheap_stale -= 1
-            return pheap[0][2] if pheap else None
-
-        def advance_head() -> None:
-            nonlocal head
-            if priority_key is None:
-                head += 1
-            else:
-                heapq.heappop(pheap)
-
-        def window_candidates():
-            """Up to ``backfill_window`` waiting jobs after the head, in
-            queue order."""
-            if priority_key is None:
-                yielded = 0
-                idx = head
-                while yielded < self.backfill_window:
-                    idx += 1
-                    if idx >= len(queue):
-                        return
-                    cand = queue[idx]
-                    if cand.id in started_out_of_order:
-                        continue
-                    yielded += 1
-                    yield cand
-                return
-            # At most ``pheap_stale`` of the snapshot entries are dead,
-            # so this take still covers the head plus a full window of
-            # live candidates; eager compaction keeps it O(window).
-            take = self.backfill_window + 1 + pheap_stale
-            snapshot = heapq.nsmallest(take, pheap)
-            # Freeze the dead ids now: a backfill started mid-iteration
-            # may trigger a compaction that removes them from the live
-            # set, and a snapshot entry must not come back to life.
-            # (Jobs started *during* this pass never need the check —
-            # each snapshot entry is yielded at most once.)
-            dead = started_out_of_order.intersection(
-                e[2].id for e in snapshot
-            )
-            yielded = 0
-            skipped_head = False
-            for _, _, cand in snapshot:
-                if cand.id in dead:
-                    continue
-                if not skipped_head:
-                    skipped_head = True  # the head itself is not a candidate
-                    continue
-                yielded += 1
-                yield cand
-                if yielded >= self.backfill_window:
-                    return
-
-        def conservative_schedule(now: float) -> None:
-            """Every job in the window gets a reservation; a job starts
-            only if its reservation is 'now' (so no earlier job is ever
-            delayed by a later one)."""
-            nonlocal pending
-            from repro.sched.profile import FOREVER, FreeProfile
-
-            prune_fifo_front()
-            failed: set = set()
-            profile = FreeProfile(now, self.allocator.free_nodes)
-            for est_end, eff_size in running.values():
-                profile.release_at(est_end, eff_size)
-            scanned = 0
-            idx = head - 1
-            while scanned <= self.backfill_window:
-                idx += 1
-                if idx >= len(queue):
-                    break
-                job = queue[idx]
-                if job.id in started_out_of_order:
-                    continue
-                scanned += 1
-                size = eff(job)
-                wall = walltime_est(job)
-                start = profile.earliest_fit(size, wall)
-                key = (size, job.bw_need)
-                if start <= now and key not in failed:
-                    if try_start(job, now, via="reserved"):
-                        note_started_out_of_order(job.id)
-                        pending -= 1
-                        profile.reserve(now, now + wall, size)
-                        sample()
-                        continue
-                    failed.add(key)
-                    # Fragmentation-blocked: the pattern can only change
-                    # at the next expected release.
-                    later = [t for t in profile._times if t > now]
-                    start = later[0] if later else FOREVER
-                if start != FOREVER:
-                    profile.reserve(start, start + wall, size)
-
-        def schedule(now: float) -> None:
-            nonlocal pending
-            if self.backfill_policy == "conservative":
-                conservative_schedule(now)
-                return
-            failed: set = set()
-            # FIFO phase: start from the head until something blocks.
-            while pending:
-                job = peek_head()
-                assert job is not None
-                if try_start(job, now):
-                    advance_head()
-                    pending -= 1
-                    sample()
-                else:
-                    failed.add((eff(job), job.bw_need))
-                    break
-            if not pending or self.backfill_window <= 0:
-                self._sticky = None
-                return
-            head_job = peek_head()
-            assert head_job is not None
-            # The head's reservation is computed when it first blocks and
-            # honored according to the reservation policy.  Recomputing
-            # every event ("slip") lets the shadow slip forever under
-            # constrained allocators — the node-count shadow
-            # underestimates when fragmentation, not node count, blocks
-            # the head — which starves large jobs; never recomputing
-            # ("sticky") forces full drains.  The default renews the
-            # reservation only once its shadow time has passed.
-            expired = (
-                self._sticky is not None
-                and self.reservation_policy == "renew"
-                and now >= self._sticky[1].shadow_time
-            )
-            if (
-                self._sticky is None
-                or self._sticky[0] != head_job.id
-                or self.reservation_policy == "slip"
-                or expired
-            ):
-                self._sticky = (head_job.id, self._reservation(now, head_job, running))
-            reservation = self._sticky[1]
-            bspan = tracer.begin("backfill.window") if tracer.enabled else None
-            scanned = 0
-            started = 0
-            for cand in window_candidates():
-                scanned += 1
-                key = (eff(cand), cand.bw_need)
-                if key in failed:
-                    continue
-                if eff(cand) > self.allocator.free_nodes:
-                    continue
-                walltime = walltime_est(cand)
-                if not may_backfill(
-                    cand, now, walltime, self.allocator.free_nodes,
-                    eff(cand), reservation,
-                ):
-                    continue
-                if try_start(cand, now, via="backfill"):
-                    note_started_out_of_order(cand.id)
-                    pending -= 1
-                    started += 1
-                    sample()
-                else:
-                    failed.add(key)
-            if bspan is not None:
-                bspan.set(
-                    window=self.backfill_window, scanned=scanned,
-                    started=started, head=head_job.id,
-                    shadow_time=reservation.shadow_time,
-                )
-                tracer.end(bspan)
-
-        # --------------------------------------------------------------
-        # Main loop
-        # --------------------------------------------------------------
-        makespan_start = last_t
-        last_completion = last_t
-        while events:
-            t = events[0][0]
-            if sampler is not None:
-                # Boundaries before t see the state as of entering them:
-                # sample *before* applying this batch or advancing areas.
-                sampler.advance_to(t, sample_row)
-            if tracer.enabled:
-                tracer.sim_time = t
-            advance(t)
-            arrivals = 0
-            completions = 0
-            while events and events[0][0] == t:
-                _, kind, ev_seq, payload = heapq.heappop(events)
-                if kind == _FAULT_REPAIR:
-                    resilience.repair(payload, t)
-                    continue
-                if kind == _FAULT_INJECT:
-                    # Victims drain through the ordinary release path
-                    # before the injector claims the hardware.
-                    for victim_id in resilience.victims(payload):
-                        kill_job(job_by_id[victim_id], t)
-                    resilience.inject(payload, t)
-                    continue
-                job = payload
-                if kind == _COMPLETION:
-                    if resilience is not None:
-                        if live_comp.get(job.id) != ev_seq:
-                            continue  # orphaned by a kill; not a completion
-                        live_comp.pop(job.id)
-                    self.allocator.release(job.id)
-                    if self.runtime_model is not None:
-                        self.runtime_model.on_release(job.id)
-                    running.pop(job.id)
-                    cur_busy -= job.size
-                    last_completion = t
-                    completions += 1
-                    if tracer.enabled:
-                        attrs = {"job": job.id, "size": job.size}
-                        tracer.instant("sched.complete", attrs)
-                        if self.event_log is not None:
-                            self.event_log.record(
-                                t, "complete", job.id, job.size, attrs=attrs
-                            )
-                    elif self.event_log is not None:
-                        self.event_log.record(t, "complete", job.id, job.size)
-                    sample()
-                else:
-                    arrivals += 1
-                    if self.event_log is not None:
-                        self.event_log.record(t, "arrive", job.id, job.size)
-                    enqueue(job)
-            span = tracer.begin("sched.pass") if tracer.enabled else None
-            queue_before = pending
-            schedule(t)
-            if span is not None:
-                span.set(
-                    arrivals=arrivals, completions=completions,
-                    queue_before=queue_before, queue_after=pending,
-                    started=queue_before - pending, running=len(running),
-                    free_nodes=self.allocator.free_nodes,
-                )
-                tracer.end(span)
-            if pending and not running and not events:
-                # Nothing can ever start these jobs (should not happen
-                # for valid traces; recorded for failure-injection tests).
-                while (job := peek_head()) is not None:
-                    unscheduled.append(job.id)
-                    if self.event_log is not None:
-                        self.event_log.record(t, "unscheduled", job.id, job.size)
-                    advance_head()
-                    pending -= 1
-                break
-
-        if sampler is not None:
-            sampler.finish(last_t, sample_row)
-
-        completed = [
-            JobRecord(j.id, j.size, j.arrival, j.start, j.end)
-            for j in jobs
-            if j.end >= 0
-        ]
-        return SimResult(
-            scheme=self.allocator.name,
-            trace_name=name,
-            system_nodes=n_system,
-            jobs=completed,
-            makespan=last_completion - makespan_start,
-            busy_area=busy_area,
-            demand_area=demand_area,
-            total_busy_area=total_busy_area,
-            instant=instant,
-            sched_seconds=self.allocator.stats.alloc_seconds,
-            alloc_attempts=self.allocator.stats.attempts,
-            unscheduled=unscheduled,
-            cache_hits=self.allocator.stats.cache_hits,
-            cache_misses=self.allocator.stats.cache_misses,
-            pods_pruned=self.allocator.stats.pods_pruned,
-            candidate_hits=self.allocator.stats.candidate_hits,
-            memo_hits=self.allocator.stats.memo_hits,
-            backtrack_steps=self.allocator.stats.backtrack_steps,
-            samples=list(sampler.rows) if sampler is not None else [],
-            faults_injected=(
-                resilience.stats.injected if resilience is not None else 0
-            ),
-            faults_repaired=(
-                resilience.stats.repaired if resilience is not None else 0
-            ),
-            resubmissions=(
-                resilience.stats.resubmissions if resilience is not None else 0
-            ),
-            wasted_node_seconds=(
-                resilience.stats.wasted_node_seconds
-                if resilience is not None else 0.0
-            ),
-            degraded_node_seconds=(
-                resilience.stats.degraded_node_seconds
-                if resilience is not None else 0.0
-            ),
+        table = JobTable(jobs)
+        bad = table.first_oversized(
+            self.allocator.effective_size, tree.num_nodes
         )
+        if bad is not None:
+            raise ValueError(
+                f"job {bad.id} needs {bad.size} nodes "
+                f"(effective {self.allocator.effective_size(bad.size)}) "
+                f"but the cluster has {tree.num_nodes}"
+            )
+        state = _RunState(self, table)
+        state.drive()
+        return state.result(name)
 
     # ------------------------------------------------------------------
     def _reservation(
@@ -769,4 +250,713 @@ class Simulator:
             self.allocator.effective_size(head_job.size),
             self.allocator.free_nodes,
             list(running.values()),
+        )
+
+
+class _RunState:
+    """Mutable scheduling state of one ``Simulator.run``.
+
+    The policy layer over :mod:`repro.sched.eventcore`: it owns the
+    waiting queue(s), the running set, the area accumulators and the
+    resilience bookkeeping, and exposes the event handlers
+    (:meth:`try_start`, :meth:`kill_job`, …) as methods so tests can
+    observe or wrap individual transitions.
+    """
+
+    def __init__(self, sim: Simulator, table: JobTable):
+        self.sim = sim
+        self.table = table
+        self.allocator = sim.allocator
+        self.tracer = (
+            sim.tracer if sim.tracer is not None else sim.allocator.tracer
+        )
+        if sim.tracer is not None:
+            sim.allocator.tracer = self.tracer
+        self.sampler = sim.sampler
+        self.event_log = sim.event_log
+
+        # Event streams: arrivals and fault events are pre-known;
+        # completions are discovered as jobs start.
+        faults = sim.fault_timeline.faults
+        self.streams = EventStreams(
+            table.arrival_queue(),
+            CompletionQueue(),
+            repairs=ArrayEventQueue(
+                [spec.end for spec in faults if spec.end is not None],
+                [i for i, spec in enumerate(faults) if spec.end is not None],
+            ),
+            injects=ArrayEventQueue(
+                [spec.start for spec in faults], list(range(len(faults)))
+            ),
+        )
+
+        self.queue: List[Job] = []
+        self.head = 0
+        #: priority heap used instead of the FIFO list for non-FIFO orders
+        self.pheap: List[Tuple[float, int, Job]] = []
+        #: tie-break counter for priority-heap entries (push order)
+        self._pseq = count()
+        self.started_out_of_order: set = set()
+        #: stale pheap entries (jobs that already started out of order);
+        #: in priority mode ``started_out_of_order`` holds exactly the
+        #: ids of these entries, so the two counts track together
+        self.pheap_stale = 0
+        self.pending = 0
+        self.running: Dict[int, Tuple[float, int]] = {}
+        self.cur_busy = 0  # requested nodes currently computing
+
+        self.instant = InstantHistogram()
+        self.busy_area = 0.0
+        self.demand_area = 0.0
+        self.total_busy_area = 0.0
+        self.last_t = table.first_arrival
+        self.n_system = sim.allocator.tree.num_nodes
+        self.unscheduled: List[int] = []
+        self.makespan_start = self.last_t
+        self.last_completion = self.last_t
+        #: scheduling passes run (rounds, in batch-step terms)
+        self.rounds = 0
+        #: simulation time of the most recent scheduling pass (feeds the
+        #: ``step_lag`` sampler column)
+        self.last_sched_t = self.last_t
+
+        # Resilience machinery, engaged only for a non-empty timeline.
+        # Every touch point below is gated on ``resilience is not None``
+        # so a fault-free run takes exactly the historical code path —
+        # the empty-timeline fingerprint check holds the gate to that.
+        self.resilience: Optional[ResilienceManager] = None
+        #: job id -> remaining work as a fraction of the base runtime
+        #: (absent = 1.0); shrinks when a checkpoint survives a kill
+        self.work_frac: Dict[int, float] = {}
+        #: job id -> slot of its live completion event; a kill orphans
+        #: the queued entry, which is dropped on drain by this check
+        self.live_comp: Dict[int, int] = {}
+        if sim.fault_timeline:
+            self.resilience = ResilienceManager(
+                sim.allocator,
+                sim.fault_timeline,
+                sim.fault_victim_policy,
+                sim.checkpoint_interval,
+                tracer=self.tracer,
+                event_log=sim.event_log,
+            )
+
+        if self.tracer.enabled:
+            self.tracer.sim_time = self.last_t
+        if self.sampler is not None:
+            self.sampler.reset(self.last_t)
+
+        self.priority_key = None
+        if sim.queue_order == "sjf":
+            self.priority_key = self.walltime_est
+        elif sim.queue_order == "smallest":
+            self.priority_key = lambda job: job.size
+        elif sim.queue_order == "largest":
+            self.priority_key = lambda job: -job.size
+
+    # -- telemetry -----------------------------------------------------
+    def sample_row(self, boundary: float) -> dict:
+        resilience = self.resilience
+        return simulator_row(
+            boundary, self.allocator, self.pending, len(self.running),
+            self.cur_busy,
+            resilience.degraded_nodes if resilience is not None else 0,
+            step_lag=max(0.0, boundary - self.last_sched_t),
+        )
+
+    # -- accounting ----------------------------------------------------
+    def advance(self, t: float) -> None:
+        dt = t - self.last_t
+        if dt > 0:
+            self.total_busy_area += self.cur_busy * dt
+            if self.pending > 0:
+                self.busy_area += self.cur_busy * dt
+                # The under-demand capacity excludes fault-claimed
+                # nodes: work that cannot be placed anywhere is not
+                # scheduler loss.
+                self.demand_area += self.capacity() * dt
+            if self.resilience is not None:
+                self.resilience.stats.degraded_node_seconds += (
+                    self.resilience.degraded_nodes * dt
+                )
+            self.last_t = t
+
+    def capacity(self) -> int:
+        """Nodes currently in service (system size minus fault-claimed)."""
+        if self.resilience is not None:
+            return self.n_system - self.resilience.degraded_nodes
+        return self.n_system
+
+    def sample(self) -> None:
+        if self.pending > 0:
+            cap = self.capacity()
+            if cap > 0:
+                self.instant.add(100.0 * self.cur_busy / cap)
+
+    # -- planning estimates --------------------------------------------
+    def eff(self, job: Job) -> int:
+        return self.allocator.effective_size(job.size)
+
+    def plan_runtime(self, job: Job) -> float:
+        """The base runtime every planning estimate starts from.
+
+        Under a contention runtime model the slowdown factor is unknown
+        until placement, so planning uses the unscaled base runtime;
+        otherwise the scheme's scenario runtime.  ``walltime_est`` and
+        the running-job completion estimates both build on this — one
+        source, so the head's shadow time and ``may_backfill`` can never
+        disagree about the same job.
+        """
+        if self.sim.runtime_model is not None:
+            return job.runtime
+        return job.runtime_under(self.sim.low_interference)
+
+    def walltime_est(self, job: Job) -> float:
+        """The (possibly overestimated) walltime planning uses."""
+        est = self.plan_runtime(job) * self.sim.estimate_factor
+        if self.resilience is not None:
+            # A checkpoint-restarted job only redoes its lost work.
+            est *= self.work_frac.get(job.id, 1.0)
+        return est
+
+    # -- transitions ---------------------------------------------------
+    def try_start(self, job: Job, now: float, via: str = "fifo") -> bool:
+        sim = self.sim
+        alloc = self.allocator.allocate(job.id, job.size, bw_need=job.bw_need)
+        if alloc is None:
+            return False
+        tracer = self.tracer
+        if tracer.enabled:
+            # One dict serves both sinks: the trace's instant event
+            # and the audit log's attrs column stay joinable.
+            attrs = {"wait": now - job.arrival, "via": via,
+                     "job": job.id, "size": job.size}
+            tracer.instant("sched.start", attrs)
+            if self.event_log is not None:
+                self.event_log.record(
+                    now, "start", job.id, job.size, via, attrs=attrs
+                )
+        elif self.event_log is not None:
+            self.event_log.record(now, "start", job.id, job.size, via)
+        job.start = now
+        if sim.runtime_model is not None:
+            factor = sim.runtime_model.on_start(
+                alloc, self.allocator.isolating
+            )
+            actual = job.runtime * factor
+        else:
+            actual = job.runtime_under(sim.low_interference)
+        if self.resilience is not None:
+            actual *= self.work_frac.get(job.id, 1.0)
+        job.end = now + actual
+        slot = self.streams.completions.push(job.end, job)
+        if self.resilience is not None:
+            self.live_comp[job.id] = slot
+        # Planning sees the *estimated* completion time — the same
+        # estimate ``walltime_est`` hands the backfill rules, so the
+        # shadow computed from ``running`` and the window checks agree.
+        self.running[job.id] = (now + self.walltime_est(job), self.eff(job))
+        self.table.state[self.table.row_of[job.id]] = JobTable.RUNNING
+        self.cur_busy += job.size
+        return True
+
+    def enqueue(self, job: Job) -> None:
+        sim = self.sim
+        if self.priority_key is None:
+            self.queue.append(job)
+            sim.peak_queue_len = max(sim.peak_queue_len, len(self.queue))
+        else:
+            heapq.heappush(
+                self.pheap, (self.priority_key(job), next(self._pseq), job)
+            )
+            sim.peak_queue_len = max(sim.peak_queue_len, len(self.pheap))
+        self.pending += 1
+        self.table.state[self.table.row_of[job.id]] = JobTable.QUEUED
+
+    def note_started_out_of_order(self, job_id: int) -> None:
+        sim = self.sim
+        self.started_out_of_order.add(job_id)
+        sim.peak_started_out_of_order = max(
+            sim.peak_started_out_of_order, len(self.started_out_of_order)
+        )
+        if self.priority_key is not None:
+            self.pheap_stale += 1
+            sim.peak_pheap_stale = max(sim.peak_pheap_stale, self.pheap_stale)
+            self.compact_pheap()
+
+    def compact_pheap(self) -> None:
+        """Rebuild the priority heap without its stale entries once
+        they dominate it.  Amortized O(1) per event; pure
+        bookkeeping — the set of live entries (and hence every
+        scheduling decision) is unchanged.  Without this, each
+        ``window_candidates`` snapshot pays O(Q log Q) as the stale
+        share grows on long traces."""
+        if (
+            self.pheap_stale < self.sim.PHEAP_COMPACT_MIN
+            or self.pheap_stale * 2 < len(self.pheap)
+        ):
+            return
+        pheap = self.pheap
+        live = [e for e in pheap if e[2].id not in self.started_out_of_order]
+        self.started_out_of_order.difference_update(
+            e[2].id for e in pheap if e[2].id in self.started_out_of_order
+        )
+        pheap[:] = live
+        heapq.heapify(pheap)
+        self.pheap_stale = 0
+
+    def purge_queued(self, job: Job) -> None:
+        """Remove a killed job's stale queue entry, if any.
+
+        A job that started out of order leaves its entry in the
+        queue (lazily skipped once the head passes it).  Re-enqueuing
+        the same Job object behind that stale entry would confuse
+        the lazy bookkeeping — backfill would skip the live entry,
+        and after the stale one is pruned the running job could be
+        offered to the allocator twice — so kills purge eagerly.
+        Kills are rare; O(queue) is fine here.
+        """
+        if job.id not in self.started_out_of_order:
+            return
+        self.started_out_of_order.discard(job.id)
+        if self.priority_key is None:
+            for i in range(self.head, len(self.queue)):
+                if self.queue[i] is job:
+                    del self.queue[i]
+                    return
+        else:
+            pheap = self.pheap
+            live = [e for e in pheap if e[2] is not job]
+            self.pheap_stale -= len(pheap) - len(live)
+            pheap[:] = live
+            heapq.heapify(pheap)
+
+    def kill_job(self, job: Job, now: float) -> None:
+        """Drain one fault victim through the ordinary release path
+        and resubmit it per the active queue order."""
+        resilience = self.resilience
+        elapsed = now - job.start
+        planned = job.end - job.start
+        saved = min(resilience.saved_work(elapsed), planned)
+        self.allocator.release(job.id)
+        if self.sim.runtime_model is not None:
+            self.sim.runtime_model.on_release(job.id)
+        self.running.pop(job.id)
+        self.live_comp.pop(job.id, None)
+        self.cur_busy -= job.size
+        resilience.stats.wasted_node_seconds += (elapsed - saved) * job.size
+        resilience.stats.resubmissions += 1
+        if planned > 0 and saved > 0:
+            frac = self.work_frac.get(job.id, 1.0)
+            self.work_frac[job.id] = frac * (1.0 - saved / planned)
+        job.start = -1.0
+        job.end = -1.0
+        if self.tracer.enabled:
+            attrs = {"job": job.id, "size": job.size,
+                     "elapsed": elapsed, "saved": saved}
+            self.tracer.instant("sched.kill", attrs)
+            if self.event_log is not None:
+                self.event_log.record(
+                    now, "kill", job.id, job.size, attrs=attrs
+                )
+        elif self.event_log is not None:
+            self.event_log.record(now, "kill", job.id, job.size)
+        self.purge_queued(job)
+        self.enqueue(job)
+        if self.event_log is not None:
+            self.event_log.record(now, "requeue", job.id, job.size)
+        self.sample()
+
+    # -- queue views ---------------------------------------------------
+    def prune_fifo_front(self) -> None:
+        """Advance ``head`` past jobs that already started out of
+        order (pruning them from the tracking set — once the head
+        passes a job it can never be looked up again) and compact
+        the FIFO list once at least half of it is dead prefix.  Both
+        are amortized O(1) per event; without them ``queue`` and
+        ``started_out_of_order`` grow with every job ever enqueued."""
+        queue = self.queue
+        while (
+            self.head < len(queue)
+            and queue[self.head].id in self.started_out_of_order
+        ):
+            self.started_out_of_order.discard(queue[self.head].id)
+            self.head += 1
+        if self.head >= 64 and self.head * 2 >= len(queue):
+            del queue[:self.head]
+            self.head = 0
+
+    def peek_head(self) -> Optional[Job]:
+        if self.priority_key is None:
+            self.prune_fifo_front()
+            return (
+                self.queue[self.head]
+                if self.head < len(self.queue)
+                else None
+            )
+        pheap = self.pheap
+        while pheap and pheap[0][2].id in self.started_out_of_order:
+            self.started_out_of_order.discard(pheap[0][2].id)
+            heapq.heappop(pheap)
+            self.pheap_stale -= 1
+        return pheap[0][2] if pheap else None
+
+    def advance_head(self) -> None:
+        if self.priority_key is None:
+            self.head += 1
+        else:
+            heapq.heappop(self.pheap)
+
+    def window_candidates(self):
+        """Up to ``backfill_window`` waiting jobs after the head, in
+        queue order."""
+        window = self.sim.backfill_window
+        if self.priority_key is None:
+            yielded = 0
+            idx = self.head
+            while yielded < window:
+                idx += 1
+                if idx >= len(self.queue):
+                    return
+                cand = self.queue[idx]
+                if cand.id in self.started_out_of_order:
+                    continue
+                yielded += 1
+                yield cand
+            return
+        # At most ``pheap_stale`` of the snapshot entries are dead,
+        # so this take still covers the head plus a full window of
+        # live candidates; eager compaction keeps it O(window).
+        take = window + 1 + self.pheap_stale
+        snapshot = heapq.nsmallest(take, self.pheap)
+        # Freeze the dead ids now: a backfill started mid-iteration
+        # may trigger a compaction that removes them from the live
+        # set, and a snapshot entry must not come back to life.
+        # (Jobs started *during* this pass never need the check —
+        # each snapshot entry is yielded at most once.)
+        dead = self.started_out_of_order.intersection(
+            e[2].id for e in snapshot
+        )
+        yielded = 0
+        skipped_head = False
+        for _, _, cand in snapshot:
+            if cand.id in dead:
+                continue
+            if not skipped_head:
+                skipped_head = True  # the head itself is not a candidate
+                continue
+            yielded += 1
+            yield cand
+            if yielded >= window:
+                return
+
+    # -- scheduling passes ---------------------------------------------
+    def conservative_schedule(self, now: float) -> None:
+        """Every job in the window gets a reservation; a job starts
+        only if its reservation is 'now' (so no earlier job is ever
+        delayed by a later one)."""
+        from repro.sched.profile import FOREVER, FreeProfile
+
+        self.prune_fifo_front()
+        failed: set = set()
+        profile = FreeProfile(now, self.allocator.free_nodes)
+        for est_end, eff_size in self.running.values():
+            profile.release_at(est_end, eff_size)
+        scanned = 0
+        idx = self.head - 1
+        while scanned <= self.sim.backfill_window:
+            idx += 1
+            if idx >= len(self.queue):
+                break
+            job = self.queue[idx]
+            if job.id in self.started_out_of_order:
+                continue
+            scanned += 1
+            size = self.eff(job)
+            wall = self.walltime_est(job)
+            start = profile.earliest_fit(size, wall)
+            key = (size, job.bw_need)
+            if start <= now:
+                if key not in failed and self.try_start(
+                    job, now, via="reserved"
+                ):
+                    self.note_started_out_of_order(job.id)
+                    self.pending -= 1
+                    profile.reserve(now, now + wall, size)
+                    self.sample()
+                    continue
+                # The profile says the job fits now but the allocator
+                # has already proven (this pass) that it cannot place
+                # the shape — fragmentation-blocked.  Reserving at
+                # ``now`` anyway would book capacity the job provably
+                # cannot use and push every later reservation behind
+                # phantom load, so the reservation defers to the next
+                # expected release, where the free pattern can change.
+                failed.add(key)
+                later = [t for t in profile._times if t > now]
+                start = later[0] if later else FOREVER
+            if start != FOREVER:
+                profile.reserve(start, start + wall, size)
+
+    def schedule(self, now: float) -> None:
+        sim = self.sim
+        if sim.backfill_policy == "conservative":
+            self.conservative_schedule(now)
+            return
+        failed: set = set()
+        # FIFO phase: start from the head until something blocks.
+        while self.pending:
+            job = self.peek_head()
+            assert job is not None
+            if self.try_start(job, now):
+                self.advance_head()
+                self.pending -= 1
+                self.sample()
+            else:
+                failed.add((self.eff(job), job.bw_need))
+                break
+        if not self.pending or sim.backfill_window <= 0:
+            sim._sticky = None
+            return
+        head_job = self.peek_head()
+        assert head_job is not None
+        # The head's reservation is computed when it first blocks and
+        # honored according to the reservation policy.  Recomputing
+        # every event ("slip") lets the shadow slip forever under
+        # constrained allocators — the node-count shadow
+        # underestimates when fragmentation, not node count, blocks
+        # the head — which starves large jobs; never recomputing
+        # ("sticky") forces full drains.  The default renews the
+        # reservation only once its shadow time has passed.
+        expired = (
+            sim._sticky is not None
+            and sim.reservation_policy == "renew"
+            and now >= sim._sticky[1].shadow_time
+        )
+        if (
+            sim._sticky is None
+            or sim._sticky[0] != head_job.id
+            or sim.reservation_policy == "slip"
+            or expired
+        ):
+            sim._sticky = (
+                head_job.id, sim._reservation(now, head_job, self.running)
+            )
+        reservation = sim._sticky[1]
+        tracer = self.tracer
+        bspan = tracer.begin("backfill.window") if tracer.enabled else None
+        scanned = 0
+        started = 0
+        for cand in self.window_candidates():
+            scanned += 1
+            key = (self.eff(cand), cand.bw_need)
+            if key in failed:
+                continue
+            if self.eff(cand) > self.allocator.free_nodes:
+                continue
+            walltime = self.walltime_est(cand)
+            if not may_backfill(
+                cand, now, walltime, self.allocator.free_nodes,
+                self.eff(cand), reservation,
+            ):
+                continue
+            if self.try_start(cand, now, via="backfill"):
+                self.note_started_out_of_order(cand.id)
+                self.pending -= 1
+                started += 1
+                self.sample()
+            else:
+                failed.add(key)
+        if bspan is not None:
+            bspan.set(
+                window=sim.backfill_window, scanned=scanned,
+                started=started, head=head_job.id,
+                shadow_time=reservation.shadow_time,
+            )
+            tracer.end(bspan)
+
+    # -- drive loop ----------------------------------------------------
+    def drive(self) -> None:
+        """Run rounds until every stream is drained.
+
+        Each round covers ``(previous boundary, round_t]``: drain the
+        round's events in global ``(time, kind, seq)`` order (advancing
+        the clock and areas event by event), then run one scheduling
+        pass at the boundary.  Event-driven mode is the degenerate case
+        ``round_t = next event time`` — one timestamp per round, a pass
+        after every event batch, bit-identical to the historical loop.
+        """
+        sim = self.sim
+        step = sim.step_interval
+        streams = self.streams
+        tracer = self.tracer
+        sampler = self.sampler
+        table = self.table
+        resilience = self.resilience
+        t0 = self.last_t
+        round_idx = 0
+        while True:
+            first = streams.next_time()
+            if first == float("inf"):
+                break
+            if step is None:
+                round_t = first
+            else:
+                round_t = round_boundary(t0, first, step)
+            rspan = (
+                tracer.begin("sched.round")
+                if step is not None and tracer.enabled
+                else None
+            )
+            times, kinds, payloads = streams.take_round(round_t)
+            arrivals = 0
+            completions = 0
+            for t, kind, payload in zip(
+                times.tolist(), kinds.tolist(), payloads.tolist()
+            ):
+                if sampler is not None:
+                    # Boundaries before t see the state as of entering
+                    # them: sample *before* applying the event.
+                    sampler.advance_to(t, self.sample_row)
+                if tracer.enabled:
+                    tracer.sim_time = t
+                self.advance(t)
+                if kind == FAULT_REPAIR:
+                    resilience.repair(payload, t)
+                elif kind == FAULT_INJECT:
+                    # Victims drain through the ordinary release path
+                    # before the injector claims the hardware.
+                    for victim_id in resilience.victims(payload):
+                        self.kill_job(
+                            table.jobs[table.row_of[victim_id]], t
+                        )
+                    resilience.inject(payload, t)
+                elif kind == COMPLETION:
+                    job = streams.completions.job(payload)
+                    if resilience is not None:
+                        if self.live_comp.get(job.id) != payload:
+                            continue  # orphaned by a kill
+                        self.live_comp.pop(job.id)
+                    self.allocator.release(job.id)
+                    if sim.runtime_model is not None:
+                        sim.runtime_model.on_release(job.id)
+                    self.running.pop(job.id)
+                    self.cur_busy -= job.size
+                    table.state[table.row_of[job.id]] = JobTable.DONE
+                    self.last_completion = t
+                    completions += 1
+                    if tracer.enabled:
+                        attrs = {"job": job.id, "size": job.size}
+                        tracer.instant("sched.complete", attrs)
+                        if self.event_log is not None:
+                            self.event_log.record(
+                                t, "complete", job.id, job.size, attrs=attrs
+                            )
+                    elif self.event_log is not None:
+                        self.event_log.record(t, "complete", job.id, job.size)
+                    self.sample()
+                else:  # ARRIVAL — payload is the job-table row
+                    job = table.jobs[payload]
+                    arrivals += 1
+                    if self.event_log is not None:
+                        self.event_log.record(t, "arrive", job.id, job.size)
+                    self.enqueue(job)
+            # The scheduling pass runs at the round boundary (in event
+            # mode the boundary *is* the batch timestamp, so these
+            # advances are no-ops).
+            if sampler is not None:
+                sampler.advance_to(round_t, self.sample_row)
+            if tracer.enabled:
+                tracer.sim_time = round_t
+            self.advance(round_t)
+            span = tracer.begin("sched.pass") if tracer.enabled else None
+            queue_before = self.pending
+            self.schedule(round_t)
+            self.rounds += 1
+            self.last_sched_t = round_t
+            if span is not None:
+                span.set(
+                    arrivals=arrivals, completions=completions,
+                    queue_before=queue_before, queue_after=self.pending,
+                    started=queue_before - self.pending,
+                    running=len(self.running),
+                    free_nodes=self.allocator.free_nodes,
+                )
+                tracer.end(span)
+            if rspan is not None:
+                rspan.set(
+                    round=round_idx, step=step, drained=len(times),
+                    arrivals=arrivals, completions=completions,
+                    lag=round_t - first, started=queue_before - self.pending,
+                )
+                tracer.end(rspan)
+            round_idx += 1
+            if self.pending and not self.running and streams.empty():
+                # Nothing can ever start these jobs (should not happen
+                # for valid traces; recorded for failure-injection tests).
+                while (job := self.peek_head()) is not None:
+                    self.unscheduled.append(job.id)
+                    table.state[table.row_of[job.id]] = JobTable.UNSCHEDULED
+                    if self.event_log is not None:
+                        self.event_log.record(
+                            round_t, "unscheduled", job.id, job.size
+                        )
+                    self.advance_head()
+                    self.pending -= 1
+                break
+
+        if sampler is not None:
+            sampler.finish(self.last_t, self.sample_row)
+
+    # -- result --------------------------------------------------------
+    def result(self, name: str) -> SimResult:
+        sim = self.sim
+        resilience = self.resilience
+        completed = [
+            JobRecord(j.id, j.size, j.arrival, j.start, j.end)
+            for j in self.table.jobs
+            if j.end >= 0
+        ]
+        return SimResult(
+            scheme=self.allocator.name,
+            trace_name=name,
+            system_nodes=self.n_system,
+            jobs=completed,
+            makespan=self.last_completion - self.makespan_start,
+            busy_area=self.busy_area,
+            demand_area=self.demand_area,
+            total_busy_area=self.total_busy_area,
+            instant=self.instant,
+            sched_seconds=self.allocator.stats.alloc_seconds,
+            alloc_attempts=self.allocator.stats.attempts,
+            unscheduled=self.unscheduled,
+            cache_hits=self.allocator.stats.cache_hits,
+            cache_misses=self.allocator.stats.cache_misses,
+            pods_pruned=self.allocator.stats.pods_pruned,
+            candidate_hits=self.allocator.stats.candidate_hits,
+            memo_hits=self.allocator.stats.memo_hits,
+            backtrack_steps=self.allocator.stats.backtrack_steps,
+            samples=(
+                list(self.sampler.rows) if self.sampler is not None else []
+            ),
+            faults_injected=(
+                resilience.stats.injected if resilience is not None else 0
+            ),
+            faults_repaired=(
+                resilience.stats.repaired if resilience is not None else 0
+            ),
+            resubmissions=(
+                resilience.stats.resubmissions
+                if resilience is not None else 0
+            ),
+            wasted_node_seconds=(
+                resilience.stats.wasted_node_seconds
+                if resilience is not None else 0.0
+            ),
+            degraded_node_seconds=(
+                resilience.stats.degraded_node_seconds
+                if resilience is not None else 0.0
+            ),
+            scheduling_rounds=self.rounds,
+            step_interval=sim.step_interval,
         )

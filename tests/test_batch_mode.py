@@ -1,0 +1,253 @@
+"""Batch-step scheduling rounds and the array event core."""
+
+import math
+
+import pytest
+
+from repro.core.baseline import BaselineAllocator
+from repro.obs.sampler import ROW_FIELDS, TimeSeriesSampler
+from repro.obs.tracer import Tracer
+from repro.sched.eventcore import (
+    ArrayEventQueue,
+    CompletionQueue,
+    EventStreams,
+    JobTable,
+    round_boundary,
+)
+from repro.sched.job import Job
+from repro.sched.metrics import fidelity_report
+from repro.sched.simulator import Simulator
+from repro.topology.fattree import FatTree
+
+
+def _trace(n=200, burst=False):
+    return [
+        Job(
+            id=i + 1,
+            size=(i * 7) % 40 + 1,
+            runtime=400.0 + (i * 31) % 700,
+            arrival=0.0 if burst else i * 5.0,
+        )
+        for i in range(n)
+    ]
+
+
+def _run(jobs, **kwargs):
+    tree = FatTree.from_radix(8)
+    return Simulator(BaselineAllocator(tree), **kwargs).run(jobs)
+
+
+# ----------------------------------------------------------------------
+# eventcore units
+# ----------------------------------------------------------------------
+class TestArrayEventQueue:
+    def test_stable_order_and_cursor(self):
+        q = ArrayEventQueue([5.0, 1.0, 5.0, 3.0], [0, 1, 2, 3])
+        assert q.peek_time() == 1.0
+        times, payloads = q.take_until(5.0)
+        assert list(times) == [1.0, 3.0, 5.0, 5.0]
+        # equal times keep payload (push) order — the heap's tie-break
+        assert list(payloads) == [1, 3, 0, 2]
+        assert len(q) == 0
+        assert q.peek_time() == math.inf
+
+    def test_take_until_partial(self):
+        q = ArrayEventQueue([1.0, 2.0, 3.0], [0, 1, 2])
+        times, _ = q.take_until(2.0)
+        assert list(times) == [1.0, 2.0]
+        assert q.peek_time() == 3.0
+
+
+class TestCompletionQueue:
+    def test_round_bucketing_preserves_push_order(self):
+        q = CompletionQueue()
+        a, b, c = object(), object(), object()
+        sa = q.push(10.0, a)
+        sb = q.push(5.0, b)
+        sc = q.push(10.0, c)
+        assert q.peek_time() == 5.0
+        times, slots = q.take_until(10.0)
+        assert list(times) == [5.0, 10.0, 10.0]
+        assert [q.job(s) for s in slots] == [b, a, c]
+        assert (sa, sb, sc) == (0, 1, 2)
+        assert len(q) == 0
+
+    def test_interleaved_push_and_drain(self):
+        q = CompletionQueue()
+        q.push(1.0, "x")
+        q.take_until(1.0)
+        q.push(3.0, "y")
+        q.push(2.0, "z")
+        times, slots = q.take_until(5.0)
+        assert [q.job(s) for s in slots] == ["z", "y"]
+        assert list(times) == [2.0, 3.0]
+
+
+class TestEventStreamsMerge:
+    def test_global_order_repair_completion_arrival_inject(self):
+        arrivals = ArrayEventQueue([10.0], [0])
+        completions = CompletionQueue()
+        completions.push(10.0, "done")
+        repairs = ArrayEventQueue([10.0], [0])
+        injects = ArrayEventQueue([10.0], [1])
+        streams = EventStreams(arrivals, completions, repairs, injects)
+        _, kinds, _ = streams.take_round(10.0)
+        assert list(kinds) == [-1, 0, 1, 2]
+        assert streams.empty()
+
+
+class TestJobTable:
+    def test_columns_and_first_oversized(self):
+        jobs = [Job(id=1, size=4, runtime=1.0),
+                Job(id=2, size=9, runtime=2.0, arrival=5.0)]
+        table = JobTable(jobs)
+        assert list(table.sizes) == [4, 9]
+        assert table.first_arrival == 0.0
+        assert table.first_oversized(lambda s: s, capacity=10) is None
+        assert table.first_oversized(lambda s: s, capacity=8) is jobs[1]
+        # effective sizes count, not requested ones
+        assert table.first_oversized(lambda s: s * 3, capacity=10) is jobs[0]
+
+
+class TestRoundBoundary:
+    def test_grid_alignment(self):
+        assert round_boundary(0.0, 0.0, 300.0) == 0.0
+        assert round_boundary(0.0, 1.0, 300.0) == 300.0
+        assert round_boundary(0.0, 300.0, 300.0) == 300.0
+        assert round_boundary(0.0, 300.1, 300.0) == 600.0
+        assert round_boundary(100.0, 150.0, 300.0) == 400.0
+
+    def test_boundary_never_below_event(self):
+        t = round_boundary(0.0, 12345.678, 0.1)
+        assert t >= 12345.678
+
+
+# ----------------------------------------------------------------------
+# batch-step policy
+# ----------------------------------------------------------------------
+class TestBatchStepMode:
+    def test_rejects_non_positive_interval(self):
+        tree = FatTree.from_radix(4)
+        with pytest.raises(ValueError, match="step_interval"):
+            Simulator(BaselineAllocator(tree), step_interval=0.0)
+        with pytest.raises(ValueError, match="step_interval"):
+            Simulator(BaselineAllocator(tree), step_interval=-1.0)
+
+    def test_starts_only_on_round_grid(self):
+        jobs = _trace()
+        result = _run(jobs, step_interval=300.0)
+        t0 = min(j.arrival for j in jobs)
+        for r in result.jobs:
+            k = (r.start - t0) / 300.0
+            assert abs(k - round(k)) < 1e-9, r
+
+    def test_all_jobs_complete(self):
+        result = _run(_trace(), step_interval=300.0)
+        assert len(result.jobs) == 200
+        assert not result.unscheduled
+        assert result.step_interval == 300.0
+
+    def test_fewer_rounds_than_event_mode_on_burst(self):
+        event = _run(_trace(burst=True))
+        batch = _run(_trace(burst=True), step_interval=300.0)
+        assert batch.scheduling_rounds < event.scheduling_rounds * 0.6
+        assert event.step_interval is None
+
+    def test_deterministic(self):
+        a = _run(_trace(), step_interval=300.0)
+        b = _run(_trace(), step_interval=300.0)
+        assert [(r.job_id, r.start, r.end) for r in a.jobs] == [
+            (r.job_id, r.start, r.end) for r in b.jobs
+        ]
+
+    def test_mid_interval_arrival_waits_for_next_boundary(self):
+        # The grid anchors at the first arrival.  A second tiny job
+        # arriving mid-interval on an idle cluster must wait for the
+        # next boundary — lag bounded by the step.
+        jobs = [
+            Job(id=1, size=1, runtime=50.0, arrival=0.0),
+            Job(id=2, size=1, runtime=50.0, arrival=130.0),
+        ]
+        result = _run(jobs, step_interval=300.0)
+        recs = {r.job_id: r for r in result.jobs}
+        assert recs[1].start == pytest.approx(0.0)
+        assert recs[2].start == pytest.approx(300.0)
+        assert 0.0 <= recs[2].start - recs[2].arrival <= 300.0
+
+    def test_event_mode_unaffected_by_flag_default(self):
+        a = _run(_trace())
+        b = _run(_trace(), step_interval=None)
+        assert [(r.job_id, r.start, r.end) for r in a.jobs] == [
+            (r.job_id, r.start, r.end) for r in b.jobs
+        ]
+
+
+class TestBatchTelemetry:
+    def test_step_lag_column_and_round_spans(self):
+        sampler = TimeSeriesSampler(250.0)
+        tracer = Tracer(enabled=True)
+        tree = FatTree.from_radix(8)
+        result = Simulator(
+            BaselineAllocator(tree), step_interval=300.0,
+            sampler=sampler, tracer=tracer,
+        ).run(_trace())
+        assert "step_lag" in ROW_FIELDS
+        assert result.samples
+        for row in result.samples:
+            assert set(ROW_FIELDS) <= set(row)
+            # lag since the last pass; it may exceed dt across idle gaps
+            assert row["step_lag"] >= 0.0
+        assert any(row["step_lag"] > 0.0 for row in result.samples)
+        rounds = [e for e in tracer.events if e.get("name") == "sched.round"]
+        assert len(rounds) == result.scheduling_rounds
+        passes = [e for e in tracer.events if e.get("name") == "sched.pass"]
+        assert len(passes) == result.scheduling_rounds
+
+    def test_event_mode_emits_no_round_spans(self):
+        tracer = Tracer(enabled=True)
+        tree = FatTree.from_radix(8)
+        Simulator(BaselineAllocator(tree), tracer=tracer).run(_trace(50))
+        assert not [
+            e for e in tracer.events if e.get("name") == "sched.round"
+        ]
+
+
+class TestFidelityReport:
+    def test_deltas_and_ratios(self):
+        event = _run(_trace())
+        batch = _run(_trace(), step_interval=300.0)
+        report = fidelity_report(event, batch)
+        assert set(report) == {
+            "util_delta_pp", "turnaround_delta_pct", "wait_delta_s",
+            "makespan_delta_pct", "rounds_ratio", "attempts_ratio",
+        }
+        # batch can only delay starts relative to event-driven replay
+        assert report["wait_delta_s"] >= 0.0
+        assert 0.0 < report["rounds_ratio"] <= 1.0
+
+    def test_rejects_mismatched_pairs(self):
+        event = _run(_trace())
+        event.scheme = "other"
+        batch = _run(_trace(), step_interval=300.0)
+        with pytest.raises(ValueError, match="one \\(trace, scheme\\)"):
+            fidelity_report(event, batch)
+
+
+class TestBatchWithFaults:
+    def test_faulted_batch_run_completes(self):
+        from repro.sched.resilience import FaultTimeline
+
+        tree = FatTree.from_radix(8)
+        timeline = FaultTimeline.synthetic(
+            tree.num_nodes, mttf=20_000.0, mttr=1_000.0,
+            horizon=30_000.0, seed=3,
+        )
+        result = Simulator(
+            BaselineAllocator(tree), step_interval=300.0,
+            fault_timeline=timeline,
+            fault_victim_policy="requeue-remaining",
+            checkpoint_interval=600.0,
+        ).run(_trace())
+        assert result.faults_injected > 0
+        assert len(result.jobs) == 200
+        assert not result.unscheduled
