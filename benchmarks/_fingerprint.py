@@ -25,6 +25,17 @@ and once on the naive recompute-per-call search paths
 (``REPRO_NAIVE_SEARCH=1``) — and asserts byte-identical decisions.
 ``--compare FILE`` instead checks the current code against a previously
 written dump and prints ``FINGERPRINTS-IDENTICAL`` on a match.
+Comparisons are schema-tolerant: only the decision keys are diffed, so
+a dump written before a diagnostic counter was added still compares.
+
+Scheduling-pass invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --vs-scalar [--scale 0.02]
+
+runs every scheme twice — once on the vectorized scheduling pass and
+once on the scalar twin (``REPRO_NAIVE_PASS=1``) — and asserts
+byte-identical decisions, in event-driven, batch-step *and* faulted
+replay.
 
 Telemetry invariance::
 
@@ -72,6 +83,23 @@ from repro.experiments.grid import run_sim_grid, sim_cell
 TRACES = ("Synth-16", "Thunder", "Sep-Cab")
 SCHEMES = ("baseline", "ta", "laas", "jigsaw", "lc+s")
 
+#: the fields a comparison must hold identical — everything that encodes
+#: a scheduling decision.  Other dump fields (diagnostic counters like
+#: ``queue_prefiltered``) are informational and may legitimately differ
+#: across code paths that decide identically, so diffs ignore them.
+DECISION_KEYS = (
+    "jobs", "records_sha256", "makespan", "steady_state_utilization",
+    "overall_utilization", "alloc_attempts", "unscheduled",
+)
+
+
+def _decisions(fp: dict) -> dict:
+    """Project a fingerprint dict onto its decision keys."""
+    return {
+        run: {k: v for k, v in entry.items() if k in DECISION_KEYS}
+        for run, entry in fp.items()
+    }
+
 
 def fingerprint(
     scale: float, workers: Optional[int] = None, **run_kwargs
@@ -102,6 +130,10 @@ def fingerprint(
                 "overall_utilization": result.overall_utilization,
                 "alloc_attempts": result.alloc_attempts,
                 "unscheduled": list(result.unscheduled),
+                # Diagnostic counters (not decision keys; see above).
+                "queue_prefiltered": result.queue_prefiltered,
+                "size_cut_skips": result.size_cut_skips,
+                "pass_vector_rounds": result.pass_vector_rounds,
             }
     return out
 
@@ -151,7 +183,9 @@ def vs_naive(scale: float) -> None:
             os.environ.pop("REPRO_NAIVE_SEARCH", None)
         else:
             os.environ["REPRO_NAIVE_SEARCH"] = prev
-    bad = _diff("indexed", indexed, "naive", naive)
+    # Decision keys only: the naive paths disable the batch screens, so
+    # the prefilter diagnostics legitimately differ.
+    bad = _diff("indexed", _decisions(indexed), "naive", _decisions(naive))
     if bad:
         raise SystemExit(
             f"indexed vs naive fingerprints differ "
@@ -161,6 +195,44 @@ def vs_naive(scale: float) -> None:
         f"vs-naive ok: {len(indexed)} fingerprints identical "
         f"(indexed vs naive search, scale {scale})"
     )
+
+
+def vs_scalar(scale: float) -> None:
+    """Assert the vectorized and scalar scheduling passes decide
+    identically — event-driven, batch-step and faulted replay."""
+    variants = (
+        ("event", {}),
+        ("batch", dict(step_interval=300.0)),
+        ("faulted", dict(
+            mttf=20_000.0, fault_seed=1,
+            fault_victim_policy="requeue-remaining",
+            checkpoint_interval=600.0,
+        )),
+    )
+    prev = os.environ.pop("REPRO_NAIVE_PASS", None)
+    try:
+        for label, kwargs in variants:
+            os.environ.pop("REPRO_NAIVE_PASS", None)
+            vector = _decisions(fingerprint(scale, **kwargs))
+            os.environ["REPRO_NAIVE_PASS"] = "1"
+            scalar = _decisions(fingerprint(scale, **kwargs))
+            bad = _diff(
+                f"vector[{label}]", vector, f"scalar[{label}]", scalar
+            )
+            if bad:
+                raise SystemExit(
+                    f"FINGERPRINTS-DIFFER: vector vs scalar pass "
+                    f"({label}: {bad} of {len(vector)} runs)"
+                )
+            print(
+                f"FINGERPRINTS-IDENTICAL ({len(vector)}/{len(vector)} "
+                f"{label} runs, vector vs scalar pass, scale {scale})"
+            )
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_NAIVE_PASS", None)
+        else:
+            os.environ["REPRO_NAIVE_PASS"] = prev
 
 
 def vs_obs(scale: float) -> None:
@@ -286,16 +358,22 @@ def batch_selfcheck(
 
 
 def compare(path: str, scale: float, workers: Optional[int]) -> None:
-    """Fingerprint the current code and diff against a saved dump."""
+    """Fingerprint the current code and diff against a saved dump.
+
+    Only the decision keys are compared (schema-tolerant: a dump
+    written before a diagnostic counter existed still compares, and a
+    newer dump's extra counters are ignored by older code).
+    """
     with open(path) as fh:
         saved = json.load(fh)
     current = fingerprint(scale, workers=workers)
-    bad = _diff("saved", saved, "current", current)
+    bad = _diff("saved", _decisions(saved), "current", _decisions(current))
     if bad:
         raise SystemExit(
             f"FINGERPRINTS-DIFFER ({bad} of {len(current)} runs vs {path})"
         )
-    print(f"FINGERPRINTS-IDENTICAL ({len(current)} runs vs {path})")
+    print(f"FINGERPRINTS-IDENTICAL ({len(current)}/{len(current)} runs "
+          f"vs {path})")
 
 
 if __name__ == "__main__":
@@ -310,6 +388,9 @@ if __name__ == "__main__":
         sys.exit(0)
     if "--vs-naive" in sys.argv:
         vs_naive(scale)
+        sys.exit(0)
+    if "--vs-scalar" in sys.argv:
+        vs_scalar(scale)
         sys.exit(0)
     if "--obs" in sys.argv:
         vs_obs(scale)

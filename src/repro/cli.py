@@ -122,6 +122,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                    "simulated seconds instead of a pass per event (faster "
                    "on bursty traces; bounded fidelity cost — see "
                    "EXPERIMENTS.md)")
+    p.add_argument("--topology", type=int, default=None, metavar="RADIX",
+                   help="override the trace's cluster switch radix "
+                   "(e.g. 32 = the 8192-node scale-up preset)")
+    p.add_argument("--naive-pass", action="store_true",
+                   help="use the scalar scheduling pass instead of the "
+                   "vectorized one (identical decisions; for invariance "
+                   "checks and timing comparisons)")
 
     p = sub.add_parser(
         "resilience",
@@ -238,7 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sample_interval = args.sample_interval
         if args.samples_out and sample_interval is None:
             sample_interval = 3600.0
-        setup = paper_setup(args.trace, scale=scale, seed=args.seed)
+        setup = paper_setup(args.trace, scale=scale, seed=args.seed,
+                            topology=args.topology)
         result = run_scheme(setup, args.scheme, scenario=args.scenario,
                             seed=args.seed, tracer=tracer,
                             event_log=event_log,
@@ -248,7 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             fault_seed=args.fault_seed,
                             fault_victim_policy=args.fault_victim_policy,
                             checkpoint_interval=args.checkpoint_interval,
-                            step_interval=args.step_interval)
+                            step_interval=args.step_interval,
+                            use_vector_pass=not args.naive_pass)
         print(result.summary())
         if result.step_interval is not None:
             print(f"batch-step: {result.scheduling_rounds} rounds at "
@@ -269,6 +278,10 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{result.candidate_hits} candidate-list hits, "
               f"{result.memo_hits} memo hits, "
               f"{result.backtrack_steps} backtracking steps")
+        if result.pass_vector_rounds:
+            print(f"vector pass: {result.pass_vector_rounds} rounds, "
+                  f"{result.queue_prefiltered} candidates prefiltered "
+                  f"({result.size_cut_skips} by the size cut)")
         from repro.experiments.report import render_sparkline
         from repro.sched.metrics import utilization_timeline
 

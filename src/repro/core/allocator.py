@@ -14,7 +14,9 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Set, Tuple, Union
+from typing import Any, Dict, Hashable, Optional, Set, Tuple, Union
+
+import numpy as np
 
 from repro.core.shapes import ThreeLevelShape, TwoLevelShape
 from repro.obs.tracer import get_tracer
@@ -92,6 +94,15 @@ class AllocatorStats:
     memo_hits: int = 0
     #: budgeted backtracking steps actually executed across all searches
     backtrack_steps: int = 0
+    #: queued candidates the vectorized pass rejected without running
+    #: :meth:`Allocator._search` (cache, size cut, or occupancy screen)
+    queue_prefiltered: int = 0
+    #: subset of ``queue_prefiltered`` rejected by the monotone size cut
+    #: (a smaller effective size already failed durably this round)
+    size_cut_skips: int = 0
+    #: scheduling passes executed on the vectorized (column-oriented)
+    #: pass; 0 when ``use_vector_pass=False`` / ``REPRO_NAIVE_PASS=1``
+    pass_vector_rounds: int = 0
 
     def record(self, success: bool, seconds: float) -> None:
         self.attempts += 1
@@ -158,6 +169,15 @@ class Allocator(ABC):
         # external event that returns capacity, see
         # :meth:`invalidate_feasibility_cache` — can make it stale.
         self._failed_keys: Set[Tuple[int, Optional[float]]] = set()
+        # Monotone size-cut floor: (cut class, bw_need) -> smallest
+        # effective size proven durably infeasible since the last cache
+        # flush.  Within one cut class (see :meth:`cut_class`)
+        # feasibility is monotone in the effective size, so any queued
+        # job at or above the floor can be rejected without a search.
+        # Lives and dies with the feasibility cache: fed only by the
+        # durable-failure sites below, cleared exactly where
+        # ``_failed_keys`` clears.
+        self._failed_floor: Dict[Tuple[Hashable, Optional[float]], int] = {}
         # Watermark guarding against *direct* state mutation (tests and
         # diagnostics releasing nodes without going through release()):
         # free_nodes_total above the last value seen at a cache consult
@@ -198,6 +218,7 @@ class Allocator(ABC):
                 alloc = self._search(job_id, size, bw_need)
             if alloc is None and self._failure_is_durable():
                 self._failed_keys.add(key)
+                self._note_durable_failure(key)
             outcome = "placed" if alloc is not None else "failed"
         if alloc is not None:
             self._claim(alloc, bw_need)
@@ -242,10 +263,12 @@ class Allocator(ABC):
         self.stats.cache_misses += 1
         if size > self.state.free_nodes_total:
             self._failed_keys.add(key)
+            self._note_durable_failure(key)
             return False
         ok = self._search(-1, size, bw_need) is not None
         if not ok and self._failure_is_durable():
             self._failed_keys.add(key)
+            self._note_durable_failure(key)
         return ok
 
     def release(self, job_id: int) -> None:
@@ -274,6 +297,7 @@ class Allocator(ABC):
         if self._failed_keys:
             self._failed_keys.clear()
             self.stats.cache_invalidations += 1
+        self._failed_floor.clear()
         self._min_free_seen = self.state.free_nodes_total
 
     def _check_watermark(self) -> None:
@@ -301,6 +325,111 @@ class Allocator(ABC):
         (whole-leaf rounding) overrides this.
         """
         return size
+
+    def effective_sizes(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`effective_size` over a size column.
+
+        Must agree elementwise with the scalar method — the vector pass
+        builds its ``(effective_size, bw_need)`` key column from this.
+        Only LaaS overrides it.
+        """
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Vectorized-pass dispatch API (see sched/simulator.py)
+    # ------------------------------------------------------------------
+    def cut_class(self, eff: int) -> Hashable:
+        """Partition key within which feasibility is monotone in ``eff``.
+
+        The monotone size cut only compares effective sizes that share a
+        cut class.  The base scheme families (Baseline, Jigsaw, LaaS,
+        LC+S) are globally monotone — dropping a node from any legal
+        placement of ``eff`` nodes yields a legal placement of
+        ``eff - 1`` — so one class suffices.  TA overrides this with its
+        containment tier: a multi-leaf placement can be feasible while a
+        single-leaf (smaller) job has no leaf with enough room.
+        """
+        return 0
+
+    def cut_infeasible(self, eff: int, bw_need: Optional[float]) -> bool:
+        """Whether the monotone size cut rejects ``eff`` at ``bw_need``.
+
+        True iff some effective size ``<= eff`` in the same cut class
+        failed durably since the last cache flush.
+        """
+        floor = self._failed_floor.get((self.cut_class(eff), bw_need))
+        return floor is not None and eff >= floor
+
+    def _note_durable_failure(self, key: Tuple[int, Optional[float]]) -> None:
+        """Lower the size-cut floor for a durably failed key."""
+        eff, bw_need = key
+        fkey = (self.cut_class(eff), bw_need)
+        cur = self._failed_floor.get(fkey)
+        if cur is None or eff < cur:
+            self._failed_floor[fkey] = eff
+
+    def batch_screen(
+        self, effs: np.ndarray, bw_needs=None
+    ) -> Optional[np.ndarray]:
+        """Vectorized *necessary-condition* infeasibility screen.
+
+        Given a column of effective sizes (and the matching bandwidth
+        needs), return a boolean mask marking candidates that provably
+        cannot be placed against the current occupancy indexes — every
+        ``True`` must imply the scalar :meth:`_search` would fail *and*
+        that the failure is durable (claims only shrink availability, so
+        a verdict computed mid-pass stays valid for the rest of the
+        pass).  ``None`` means the scheme has no screen and every
+        candidate goes to the dispatcher's cache/cut checks only.
+        Schemes whose feasibility is not a function of the occupancy
+        indexes alone (LC+S's bandwidth masks) must return ``None``.
+        """
+        return None
+
+    def charge_skip(
+        self,
+        job_id: int,
+        size: int,
+        bw_need: Optional[float] = None,
+        reason: str = "cache",
+    ) -> None:
+        """Account for a vector-pass rejection exactly like a failed
+        :meth:`allocate` call.
+
+        The vectorized pass may only skip an allocate() whose failure is
+        already proven (cached key, monotone size cut, occupancy
+        screen).  Decision invariance requires the *counters* to stay
+        identical too — ``alloc_attempts`` is fingerprinted — so every
+        skip is charged here: attempts/failures/cache counters move as
+        the scalar call would have moved them, the feasibility cache
+        learns the (durable) verdict, and only the ``_search`` body is
+        saved.  ``reason`` is ``"cache"``, ``"cut"`` or ``"screen"``.
+        """
+        t0 = time.perf_counter()
+        tracer = self.tracer
+        span = tracer.begin("alloc.search") if tracer.enabled else None
+        self._check_watermark()
+        key = (self.effective_size(size), bw_need)
+        self.stats.queue_prefiltered += 1
+        if reason == "cut":
+            self.stats.size_cut_skips += 1
+        if key in self._failed_keys:
+            self.stats.cache_hits += 1
+            outcome = "cache_hit"
+        else:
+            self.stats.cache_misses += 1
+            self._failed_keys.add(key)
+            self._note_durable_failure(key)
+            outcome = f"prefiltered:{reason}"
+        if span is not None:
+            span.set(
+                scheme=self.name, job=job_id, size=size, eff=key[0],
+                outcome=outcome, **self._trace_attrs(size),
+            )
+            if bw_need is not None:
+                span.set(bw_need=bw_need)
+            tracer.end(span)
+        self.stats.record(False, time.perf_counter() - t0)
 
     @property
     def free_nodes(self) -> int:

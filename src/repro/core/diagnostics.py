@@ -58,6 +58,9 @@ class FragmentationSnapshot:
     candidate_hits: int = 0
     memo_hits: int = 0
     backtrack_steps: int = 0
+    #: vector-pass prefilter counters at snapshot time
+    queue_prefiltered: int = 0
+    size_cut_skips: int = 0
 
     @property
     def free_fraction(self) -> float:
@@ -102,6 +105,8 @@ class FragmentationSnapshot:
             f"{self.candidate_hits} candidate-list hits, "
             f"{self.memo_hits} memo hits, "
             f"{self.backtrack_steps} backtracking steps",
+            f"pass prefilter: {self.queue_prefiltered} candidates skipped "
+            f"({self.size_cut_skips} by the size cut)",
         ]
         return "\n".join(lines)
 
@@ -145,6 +150,7 @@ def fragmentation_snapshot(
         stats.pods_pruned, stats.candidate_hits,
         stats.memo_hits, stats.backtrack_steps,
     )
+    prefiltered, cut_skips = stats.queue_prefiltered, stats.size_cut_skips
     free = state.free_nodes_total
     fully_free = int(state.full_free_leaves.sum())
     shard = free - fully_free * tree.m1
@@ -185,6 +191,8 @@ def fragmentation_snapshot(
         candidate_hits=cand,
         memo_hits=memo,
         backtrack_steps=steps,
+        queue_prefiltered=prefiltered,
+        size_cut_skips=cut_skips,
     )
 
 

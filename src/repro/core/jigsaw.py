@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.allocator import Allocation, Allocator
 from repro.core.shapes import (
     Order,
@@ -168,6 +170,37 @@ class JigsawAllocator(Allocator):
             "steps_used": self.step_budget - self._steps_left,
             "budget_exhausted": self._budget_exhausted,
         }
+
+    def batch_screen(self, effs, bw_needs=None):
+        """Necessary-condition screen from the occupancy indexes.
+
+        A two-level placement needs one pod with ``>= eff`` free nodes;
+        a (restricted, full-leaves-only) three-level placement of
+        ``eff = F*m1 + r`` nodes needs ``F`` fully-free leaves plus —
+        when ``r > 0`` — a further distinct leaf with ``>= r`` free
+        nodes, so at least ``F + 1`` leaves with ``>= r`` free.  A
+        candidate failing both tests provably fails the scalar search
+        (durably: claims only shrink these summaries), independent of
+        the step budget.  Conservative in the other direction — a
+        passing candidate may still fail on link availability — so
+        survivors always run the real search.
+        """
+        if not self.use_indexes:
+            return None
+        state = self.state
+        m1 = self.tree.m1
+        two_ok = effs <= int(state.pod_free.max())
+        full = effs // m1
+        rem = effs - full * m1
+        three_ok = full <= int(state.full_free_leaves.sum())
+        has_rem = rem > 0
+        if np.any(has_rem & three_ok):
+            free_sorted = np.sort(state.free_per_leaf)
+            count_ge = free_sorted.size - np.searchsorted(
+                free_sorted, rem, side="left"
+            )
+            three_ok &= ~has_rem | (count_ge >= full + 1)
+        return ~(two_ok | three_ok)
 
     def _search_two_level(self, alloc_size: int):
         """Find a single-subtree placement, returning ``(shape, solution)``.

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.jigsaw import JigsawAllocator
 from repro.core.shapes import ThreeLevelShape, three_level_shapes
 
@@ -56,6 +58,31 @@ class LaaSAllocator(JigsawAllocator):
         # the whole-leaf padding a three-level spill would drag along
         attrs["rounded_size"] = self._rounded(size)
         return attrs
+
+    def effective_sizes(self, sizes):
+        """Vectorized :meth:`effective_size` (whole-leaf rounding)."""
+        m1 = self.tree.m1
+        rounded = ((sizes + m1 - 1) // m1) * m1
+        return np.where(sizes > self.tree.nodes_per_pod, rounded, sizes)
+
+    def batch_screen(self, effs, bw_needs=None):
+        """LaaS screen: the three-level reduction uses *whole leaves*.
+
+        ``_rounded`` is idempotent on effective sizes (an already-rounded
+        size rounds to itself), so the rounded column here equals the
+        scalar search's ``_rounded(size)``.  A three-level spill needs
+        ``rounded/m1`` fully-free leaves; a two-level placement needs a
+        pod with ``>= eff`` free nodes.  Both are necessary conditions,
+        budget-independent and durable under claims.
+        """
+        if not self.use_indexes:
+            return None
+        state = self.state
+        m1 = self.tree.m1
+        two_ok = effs <= int(state.pod_free.max())
+        rounded = ((effs + m1 - 1) // m1) * m1
+        three_ok = rounded // m1 <= int(state.full_free_leaves.sum())
+        return ~(two_ok | three_ok)
 
     # The two-level search is inherited from Jigsaw unchanged.
 

@@ -129,6 +129,19 @@ class LeastConstrainedAllocator(JigsawAllocator):
         attrs["step_budget"] = self.step_budget
         return attrs
 
+    def batch_screen(self, effs, bw_needs=None):
+        """No occupancy screen for the LC family.
+
+        LC(+S) searches *unrestricted* three-level shapes (partial
+        leaves everywhere) and its feasibility depends on fractional
+        link-bandwidth masks, not on the node-occupancy summaries alone
+        — Jigsaw's full-leaf screen would wrongly reject placements LC
+        can build from partial leaves.  The monotone size cut (fed by
+        LC's *durable* failures only) and the feasibility cache still
+        apply; they are bandwidth-keyed and proof-backed.
+        """
+        return None
+
     def _claim(self, alloc: Allocation, bw_need: Optional[float]) -> None:
         bw = bw_need if bw_need is not None else self.default_bw
         if self.share_links:

@@ -89,6 +89,44 @@ class TopologyAwareAllocator(Allocator):
     def _trace_attrs(self, size):
         return {"tier": self.classify(size)}
 
+    def cut_class(self, eff):
+        """TA feasibility is monotone only *within* a containment tier.
+
+        Across tiers it is not: a pod can host a T2 job while every
+        individual leaf is too fragmented for a smaller T1 job.  The
+        size-cut floor therefore lives per tier.
+        """
+        return self.classify(eff)
+
+    def batch_screen(self, effs, bw_needs=None):
+        """Exact containment-rule feasibility, one comparison per tier.
+
+        * T1 is feasible iff some usable leaf has ``>= size`` free
+          nodes (``usable`` honours ``t1_shares_multi_leaf``);
+        * T2 iff some pod's usable leaves total ``>= size``;
+        * T3 iff the usable leaves of T3-eligible pods total ``>= size``.
+
+        These mirror :meth:`_search_t1`/``_t2``/``_t3`` exactly — the
+        scalar search succeeds iff the screen passes — so a ``True``
+        here is a proof of (durable) infeasibility, and TA's failed
+        searches vanish entirely under the vector pass.
+        """
+        if not self.use_indexes:
+            return None
+        tree = self.tree
+        free = self.state.free_per_leaf
+        usable = np.where(self._multi_owner == -1, free, 0)
+        t1_free = free if self.t1_shares_multi_leaf else usable
+        t1_max = int(t1_free.max()) if t1_free.size else 0
+        totals = usable.reshape(tree.num_pods, tree.m2).sum(axis=1)
+        t2_max = int(totals.max()) if totals.size else 0
+        t3_total = int(np.where(self._t3_owner == -1, totals, 0).sum())
+        limit = np.where(
+            effs <= tree.m1, t1_max,
+            np.where(effs <= tree.nodes_per_pod, t2_max, t3_total),
+        )
+        return effs > limit
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------

@@ -111,9 +111,11 @@ def sim_cell(
     """A standard simulation cell (the ``sim`` task).
 
     Extra keyword arguments are forwarded to :func:`run_scheme`
-    (``backfill_window``, ``queue_order``, ``step_interval``, allocator
-    options, ...); they must stay plain picklable values so the cell
-    crosses the process pool unchanged.
+    (``backfill_window``, ``queue_order``, ``step_interval``,
+    ``use_vector_pass``, allocator options, ...), except ``topology``
+    (a switch-radix override), which routes to :func:`setup_for`; they
+    must stay plain picklable values so the cell crosses the process
+    pool unchanged.
     """
     return cell(
         _sim_task,
@@ -129,28 +131,35 @@ def sim_cell(
 # ----------------------------------------------------------------------
 # Worker-side state: the per-process setup cache
 # ----------------------------------------------------------------------
-_SETUP_CACHE: "OrderedDict[Tuple[str, Optional[float], int], ExperimentSetup]"
+_SETUP_CACHE: (
+    "OrderedDict[Tuple[str, Optional[float], int, Optional[int]],"
+    " ExperimentSetup]"
+)
 _SETUP_CACHE = OrderedDict()
 _CACHE_COUNTERS = {"hits": 0, "misses": 0}
 
 
 def setup_for(
-    trace: str, scale: Optional[float] = None, seed: int = 0
+    trace: str,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    topology: Optional[int] = None,
 ) -> ExperimentSetup:
     """This process's cached :func:`paper_setup` (build once, reuse).
 
     Safe to share across cells: every consumer re-applies its scenario
     and the simulator resets job state, so a cached setup replays
-    exactly like a fresh one.
+    exactly like a fresh one.  ``topology`` (a switch radix) keys the
+    cache too, so the same trace on two cluster sizes never collides.
     """
-    key = (trace, scale, seed)
+    key = (trace, scale, seed, topology)
     setup = _SETUP_CACHE.get(key)
     if setup is not None:
         _CACHE_COUNTERS["hits"] += 1
         _SETUP_CACHE.move_to_end(key)
         return setup
     _CACHE_COUNTERS["misses"] += 1
-    setup = paper_setup(trace, scale=scale, seed=seed)
+    setup = paper_setup(trace, scale=scale, seed=seed, topology=topology)
     _SETUP_CACHE[key] = setup
     while len(_SETUP_CACHE) > _SETUP_CACHE_MAX:
         _SETUP_CACHE.popitem(last=False)
@@ -175,10 +184,11 @@ def _sim_task(
     scenario: Optional[str] = None,
     seed: int = 0,
     scale: Optional[float] = None,
+    topology: Optional[int] = None,
     **run_kwargs,
 ):
     """The built-in task: one simulation of one grid cell."""
-    setup = setup_for(trace, scale=scale, seed=seed)
+    setup = setup_for(trace, scale=scale, seed=seed, topology=topology)
     return run_scheme(setup, scheme, scenario=scenario, seed=seed, **run_kwargs)
 
 

@@ -28,6 +28,7 @@ PAPER_JOB_COUNTS = {
     "Synth-16": 10_000,
     "Synth-22": 10_000,
     "Synth-28": 10_000,
+    "Synth-32": 10_000,
     "Thunder": 105_764,
     "Atlas": 29_700,
     "Aug-Cab": 30_691,
@@ -41,6 +42,7 @@ DEFAULT_JOB_COUNTS = {
     "Synth-16": 2_500,
     "Synth-22": 1_500,
     "Synth-28": 1_200,
+    "Synth-32": 1_000,
     "Thunder": 4_000,
     "Atlas": 3_000,
     "Aug-Cab": 3_500,
@@ -49,11 +51,13 @@ DEFAULT_JOB_COUNTS = {
     "Nov-Cab": 3_500,
 }
 
-#: switch radix of the cluster each trace is simulated on (section 5.4.3)
+#: switch radix of the cluster each trace is simulated on (section
+#: 5.4.3; Synth-32 is the beyond-paper radix-32 scale-up preset)
 TRACE_CLUSTER_RADIX = {
     "Synth-16": 16,
     "Synth-22": 22,
     "Synth-28": 28,
+    "Synth-32": 32,
     "Thunder": 18,
     "Atlas": 18,
     "Aug-Cab": 18,
@@ -105,22 +109,28 @@ class ExperimentSetup:
 
 
 def paper_setup(
-    name: str, scale: Optional[float] = None, seed: int = 0
+    name: str,
+    scale: Optional[float] = None,
+    seed: int = 0,
+    topology: Optional[int] = None,
 ) -> ExperimentSetup:
     """Build the named trace on its section-5.4.3 cluster.
 
     ``scale`` multiplies the paper's job count (None = the benchmark
     default counts); arrival scaling for Aug/Nov-Cab is applied here.
+    ``topology`` overrides the trace's default switch radix (e.g. 32
+    replays any trace on the 8192-node scale-up cluster).
     """
     if name not in PAPER_JOB_COUNTS:
         raise ValueError(f"unknown trace {name!r}; expected one of {ALL_TRACE_NAMES}")
     n = _num_jobs(name, scale)
+    radix = topology if topology is not None else TRACE_CLUSTER_RADIX[name]
     if name.startswith("Synth-"):
         mean = int(name.split("-")[1])
-        tree = FatTree.from_radix(TRACE_CLUSTER_RADIX[name])
+        tree = FatTree.from_radix(radix)
         trace = synthetic_trace(mean, num_jobs=n, seed=seed, max_size=tree.num_nodes)
         return ExperimentSetup(trace, tree)
-    tree = FatTree.from_radix(TRACE_CLUSTER_RADIX[name])
+    tree = FatTree.from_radix(radix)
     if name == "Thunder":
         trace = thunder_like(num_jobs=n, seed=seed)
     elif name == "Atlas":
@@ -157,6 +167,7 @@ def run_scheme(
     fault_victim_policy: str = "requeue-full",
     checkpoint_interval: float = 0.0,
     step_interval: Optional[float] = None,
+    use_vector_pass: bool = True,
     **allocator_kwargs,
 ) -> SimResult:
     """Simulate ``setup``'s trace under one scheme (and speed-up scenario).
@@ -184,6 +195,10 @@ def run_scheme(
     simulated seconds instead of a pass per event batch (see
     :class:`repro.sched.simulator.Simulator`); a plain float, so it
     pickles through the grid engine's process pool unchanged.
+
+    ``use_vector_pass=False`` selects the scalar scheduling-pass twin
+    (identical decisions; see the vector-pass notes on
+    :class:`~repro.sched.simulator.Simulator`).
 
     Telemetry (all strictly passive; see :mod:`repro.obs`):
 
@@ -232,6 +247,7 @@ def run_scheme(
         fault_victim_policy=fault_victim_policy,
         checkpoint_interval=checkpoint_interval,
         step_interval=step_interval,
+        use_vector_pass=use_vector_pass,
     )
     result = sim.run(setup.trace)
     if metrics is not None:

@@ -54,6 +54,15 @@ STATS_METRICS = {
                   "per-search memo hits that skipped a pod sub-search"),
     "backtrack_steps": ("repro_search_backtrack_steps_total", "counter",
                         "backtracking steps executed by searches"),
+    "queue_prefiltered": (
+        "repro_queue_prefiltered_total", "counter",
+        "queued candidates skipped by the vector pass's prefilter"),
+    "size_cut_skips": (
+        "repro_size_cut_skips_total", "counter",
+        "prefilter skips proven by the monotone size cut"),
+    "pass_vector_rounds": (
+        "repro_pass_vector_rounds_total", "counter",
+        "scheduling passes run on the column-oriented path"),
 }
 
 #: SimResult field -> (metric name, kind, help); counter mirrors of the
@@ -78,6 +87,9 @@ RESULT_METRICS = {
     "candidate_hits": STATS_METRICS["candidate_hits"],
     "memo_hits": STATS_METRICS["memo_hits"],
     "backtrack_steps": STATS_METRICS["backtrack_steps"],
+    "queue_prefiltered": STATS_METRICS["queue_prefiltered"],
+    "size_cut_skips": STATS_METRICS["size_cut_skips"],
+    "pass_vector_rounds": STATS_METRICS["pass_vector_rounds"],
     "faults_injected": ("repro_fault_injections_total", "counter",
                         "fault-timeline fail events applied"),
     "faults_repaired": ("repro_fault_repairs_total", "counter",

@@ -61,7 +61,7 @@ class JobTable:
     PENDING, QUEUED, RUNNING, DONE, UNSCHEDULED = range(5)
 
     __slots__ = ("jobs", "ids", "sizes", "arrivals", "runtimes",
-                 "bw_needs", "state", "row_of")
+                 "speedups", "bw_needs", "state", "row_of")
 
     def __init__(self, jobs: Sequence):
         self.jobs = list(jobs)
@@ -74,6 +74,11 @@ class JobTable:
         )
         self.runtimes = np.fromiter(
             (j.runtime for j in self.jobs), np.float64, n
+        )
+        # captured at table-build time, after apply_scenario has
+        # (re)assigned the scenario's speed-ups to the Job objects
+        self.speedups = np.fromiter(
+            (j.speedup for j in self.jobs), np.float64, n
         )
         # bw_need is Optional[float]; NaN encodes "no bandwidth tag"
         self.bw_needs = np.fromiter(

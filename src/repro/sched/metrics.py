@@ -124,6 +124,13 @@ class SimResult:
     memo_hits: int = 0
     #: backtracking steps actually executed by the allocator searches
     backtrack_steps: int = 0
+    #: queued candidates skipped by the vector pass's prefilter (cache /
+    #: size cut / batch screen) instead of running a lost search
+    queue_prefiltered: int = 0
+    #: prefilter skips proven by the monotone size cut specifically
+    size_cut_skips: int = 0
+    #: scheduling passes that ran the column-oriented (vector) path
+    pass_vector_rounds: int = 0
     #: per-interval time-series rows, when the run was sampled
     #: (see :mod:`repro.obs.sampler`); empty otherwise.  Plain dicts so
     #: the result stays picklable across the grid engine's process pool.

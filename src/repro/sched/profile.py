@@ -15,6 +15,8 @@ from __future__ import annotations
 from bisect import insort
 from typing import Dict, List
 
+import numpy as np
+
 #: effectively "forever" for reservation intervals
 FOREVER = float("inf")
 
@@ -90,6 +92,44 @@ class FreeProfile:
                     break
             if ok:
                 return t0
+        return FOREVER
+
+    def earliest_fit_vec(self, nodes: int, duration: float) -> float:
+        """Vectorized :meth:`earliest_fit` — identical results.
+
+        One cumulative-sum pass over the breakpoint columns replaces the
+        quadratic candidate × ``free_at`` scan: levels are the integer
+        cumsum of the deltas, ``bad`` marks levels below ``nodes``, a
+        reversed running minimum gives each candidate its next bad
+        breakpoint, and a candidate fits iff its own level is good and
+        the next bad breakpoint lies at or past ``t0 + duration`` (the
+        same float addition and ``>=`` the scalar loop performs, so the
+        verdicts are bit-identical).  Used by the vectorized
+        conservative pass; the scalar loop above is the
+        ``REPRO_NAIVE_PASS=1`` twin.
+        """
+        times = self._times
+        n = len(times)
+        if not n:
+            return self.now if self.base >= nodes else FOREVER
+        t = np.fromiter(times, np.float64, n)
+        deltas = np.fromiter((self._deltas[bt] for bt in times),
+                             np.int64, n)
+        levels = self.base + np.cumsum(deltas)
+        bad = levels < nodes
+        next_bad = np.minimum.accumulate(
+            np.where(bad, np.arange(n), n)[::-1]
+        )[::-1]
+        nb_ext = np.append(next_bad, n)
+        t_ext = np.append(t, FOREVER)
+        if self.base >= nodes and t_ext[int(nb_ext[0])] >= (
+            self.now + duration
+        ):
+            return self.now
+        feasible = ~bad & (t_ext[nb_ext[1:]] >= t + duration)
+        hits = np.flatnonzero(feasible)
+        if hits.size:
+            return float(t[int(hits[0])])
         return FOREVER
 
     def min_free(self, start: float, end: float) -> int:

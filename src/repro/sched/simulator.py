@@ -50,12 +50,20 @@ release, so pure-arrival event batches never repeat a lost search.
 from __future__ import annotations
 
 import heapq
+import os
 from itertools import count
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.allocator import Allocator
 from repro.obs.sampler import simulator_row
-from repro.sched.backfill import Reservation, compute_reservation, may_backfill
+from repro.sched.backfill import (
+    Reservation,
+    compute_reservation,
+    may_backfill,
+    reservation_from_arrays,
+)
 from repro.sched.eventcore import (
     ARRIVAL,
     COMPLETION,
@@ -98,6 +106,15 @@ class Simulator:
         event batch.  A positive Δt selects batch-step mode: scheduling
         rounds on the grid ``first_event + k·Δt``, with events
         accumulating between rounds (see the module docstring).
+    use_vector_pass:
+        ``True`` (default) runs the column-oriented scheduling pass:
+        queue scans are batched over the job table's size/bandwidth
+        columns, proven-infeasible candidates are skipped without a
+        search (charged through ``Allocator.charge_skip`` so the
+        attempt accounting is unchanged), and the backfill bookkeeping
+        is vectorized.  ``False`` — or ``REPRO_NAIVE_PASS=1`` in the
+        environment — selects the scalar twin; both produce identical
+        placements (``benchmarks/_fingerprint.py --vs-scalar``).
     """
 
     #: how the head's reservation evolves while it waits:
@@ -141,6 +158,7 @@ class Simulator:
         fault_victim_policy: str = "requeue-full",
         checkpoint_interval: float = 0.0,
         step_interval: Optional[float] = None,
+        use_vector_pass: bool = True,
     ):
         if not allocator.state.is_idle():
             raise ValueError("allocator must start idle")
@@ -206,6 +224,12 @@ class Simulator:
         self.checkpoint_interval = checkpoint_interval
         #: batch-step round length (None = event-driven)
         self.step_interval = step_interval
+        #: column-oriented scheduling pass (the scalar twin stays
+        #: available for invariance checks; the env knob mirrors
+        #: ``REPRO_NAIVE_SEARCH`` in :mod:`repro.core.registry`)
+        if os.environ.get("REPRO_NAIVE_PASS", "") not in ("", "0"):
+            use_vector_pass = False
+        self.use_vector_pass = bool(use_vector_pass)
         self.low_interference = allocator.low_interference
         #: the head job's current reservation: (job id, Reservation)
         self._sticky: Optional[Tuple[int, Reservation]] = None
@@ -699,10 +723,27 @@ class _RunState:
                 profile.reserve(start, start + wall, size)
 
     def schedule(self, now: float) -> None:
+        """One scheduling pass: dispatch to the policy × pass-mode
+        implementation.  The vector and scalar twins of each policy
+        make identical decisions (held to it by the twin-driver tests
+        and ``_fingerprint.py --vs-scalar``); the vector passes replace
+        provably-lost allocator searches with ``charge_skip`` and run
+        the window bookkeeping on the job-table columns."""
         sim = self.sim
         if sim.backfill_policy == "conservative":
-            self.conservative_schedule(now)
+            if sim.use_vector_pass:
+                self.conservative_schedule_vector(now)
+            else:
+                self.conservative_schedule(now)
             return
+        if sim.use_vector_pass:
+            self.easy_schedule_vector(now)
+        else:
+            self.easy_schedule(now)
+
+    def easy_schedule(self, now: float) -> None:
+        """Scalar EASY pass (the ``REPRO_NAIVE_PASS=1`` twin)."""
+        sim = self.sim
         failed: set = set()
         # FIFO phase: start from the head until something blocks.
         while self.pending:
@@ -774,6 +815,272 @@ class _RunState:
                 shadow_time=reservation.shadow_time,
             )
             tracer.end(bspan)
+
+    # -- vectorized scheduling pass --------------------------------------
+    #
+    # The vector pass makes exactly the decisions the scalar pass makes.
+    # Its speed comes from never *running* a search whose failure is
+    # already proven: the feasibility cache, the monotone size cut and
+    # the allocator's batch screen are all durable-infeasibility proofs,
+    # so a candidate they condemn is skipped via ``charge_skip`` — which
+    # moves the attempt/failure/cache counters exactly as the failed
+    # ``allocate`` would have.  Everything else (walltime estimates,
+    # shadow arithmetic, reservation profiles) is the same float/int
+    # arithmetic lifted onto the job-table columns.
+
+    def dispatch_start(
+        self, job: Job, now: float, via: str, key, screened: bool = False
+    ) -> bool:
+        """``try_start`` with proven-failure short-circuits.
+
+        Checks, in order: the allocator's feasibility cache, the
+        monotone size cut, then the caller's precomputed batch-screen
+        verdict (one batch call covers a whole window; head dispatches
+        skip the screen — a head fails at most once per pass and that
+        failure is durably cached).  Each is a durable proof that the
+        search would fail, so the skip is charged like the failed
+        ``allocate`` and the verdict is identical — only the lost
+        search is saved.
+        """
+        alloc = self.allocator
+        if key in alloc._failed_keys:
+            alloc.charge_skip(job.id, job.size, job.bw_need, "cache")
+            return False
+        if alloc.cut_infeasible(key[0], key[1]):
+            alloc.charge_skip(job.id, job.size, job.bw_need, "cut")
+            return False
+        if screened:
+            alloc.charge_skip(job.id, job.size, job.bw_need, "screen")
+            return False
+        return self.try_start(job, now, via=via)
+
+    def walltimes_vec(self, rows: np.ndarray) -> np.ndarray:
+        """``walltime_est`` over job-table rows — the same float ops
+        elementwise, so each entry is bit-identical to the scalar
+        estimate."""
+        sim = self.sim
+        table = self.table
+        if sim.runtime_model is None and sim.low_interference:
+            plan = table.runtimes[rows] / (1.0 + table.speedups[rows])
+        else:
+            plan = table.runtimes[rows]
+        est = plan * sim.estimate_factor
+        if self.resilience is not None:
+            frac = np.fromiter(
+                (
+                    self.work_frac.get(int(i), 1.0)
+                    for i in table.ids[rows]
+                ),
+                np.float64,
+                rows.size,
+            )
+            est = est * frac
+        return est
+
+    def reservation_vec(self, now: float, head_job: Job) -> Reservation:
+        """The head's reservation from the running set's end/size
+        columns (bit-identical to ``Simulator._reservation``)."""
+        running = self.running
+        n = len(running)
+        ends = np.fromiter((e for e, _ in running.values()), np.float64, n)
+        sizes = np.fromiter((s for _, s in running.values()), np.int64, n)
+        return reservation_from_arrays(
+            now, self.eff(head_job), self.allocator.free_nodes, ends, sizes
+        )
+
+    def easy_schedule_vector(self, now: float) -> None:
+        """Column-oriented EASY pass — identical decisions to
+        :meth:`easy_schedule`.
+
+        The FIFO phase is the same head loop with proven failures
+        short-circuited.  The backfill window is materialized once
+        (safe: the queue cannot change mid-pass), its effective sizes,
+        walltimes and shadow checks are evaluated as columns, the batch
+        screen runs once for the whole window, and the loop then picks
+        the first eligible candidate under the *current* free count
+        until none remains.  Eligibility only shrinks as the pass
+        consumes nodes, so the sequence of charged allocator events —
+        and hence every placement — matches the scalar scan exactly.
+        """
+        sim = self.sim
+        alloc = self.allocator
+        alloc.stats.pass_vector_rounds += 1
+        failed: set = set()
+        while self.pending:
+            job = self.peek_head()
+            assert job is not None
+            key = (self.eff(job), job.bw_need)
+            if self.dispatch_start(job, now, "fifo", key):
+                self.advance_head()
+                self.pending -= 1
+                self.sample()
+            else:
+                failed.add(key)
+                break
+        if not self.pending or sim.backfill_window <= 0:
+            sim._sticky = None
+            return
+        head_job = self.peek_head()
+        assert head_job is not None
+        # Reservation policy: same logic as the scalar pass (see the
+        # comment there); only the shadow arithmetic is vectorized.
+        expired = (
+            sim._sticky is not None
+            and sim.reservation_policy == "renew"
+            and now >= sim._sticky[1].shadow_time
+        )
+        if (
+            sim._sticky is None
+            or sim._sticky[0] != head_job.id
+            or sim.reservation_policy == "slip"
+            or expired
+        ):
+            sim._sticky = (head_job.id, self.reservation_vec(now, head_job))
+        reservation = sim._sticky[1]
+        tracer = self.tracer
+        bspan = tracer.begin("backfill.window") if tracer.enabled else None
+        cands = list(self.window_candidates())
+        started = 0
+        if cands:
+            started = self._backfill_window_vector(
+                now, cands, reservation, failed
+            )
+        if bspan is not None:
+            bspan.set(
+                window=sim.backfill_window, scanned=len(cands),
+                started=started, head=head_job.id,
+                shadow_time=reservation.shadow_time,
+            )
+            tracer.end(bspan)
+
+    def _backfill_window_vector(
+        self, now: float, cands: List[Job], reservation: Reservation,
+        failed: set,
+    ) -> int:
+        """Scan a materialized backfill window with column arithmetic;
+        returns how many candidates started."""
+        alloc = self.allocator
+        table = self.table
+        n = len(cands)
+        rows = np.fromiter(
+            (table.row_of[j.id] for j in cands), np.int64, n
+        )
+        effs = alloc.effective_sizes(table.sizes[rows])
+        walls = self.walltimes_vec(rows)
+        # may_backfill, decomposed: given eff <= free (checked live in
+        # the loop), the job may start iff it finishes before the
+        # shadow time or fits in the reservation's spare nodes.
+        ok_static = ((now + walls) <= reservation.shadow_time) | (
+            effs <= reservation.spare_nodes
+        )
+        keys = [
+            (int(e), j.bw_need) for e, j in zip(effs.tolist(), cands)
+        ]
+        # Factor equal keys so one failure kills every twin at once —
+        # the scalar scan's per-pass ``failed`` set, vectorized.
+        key_ids: Dict[tuple, int] = {}
+        ids = np.empty(n, np.int64)
+        for i, k in enumerate(keys):
+            ids[i] = key_ids.setdefault(k, len(key_ids))
+        key_dead = np.zeros(len(key_ids), bool)
+        for k, kid in key_ids.items():
+            if k in failed:
+                key_dead[kid] = True
+        # One batch screen for the whole window: sound because free
+        # capacity only shrinks during a pass, so infeasible-now stays
+        # infeasible at any later dispatch within the pass.
+        screen = alloc.batch_screen(effs)
+        screened = (
+            np.zeros(n, bool) if screen is None else np.asarray(screen, bool)
+        )
+        done = np.zeros(n, bool)
+        started = 0
+        while True:
+            elig = (
+                ~done
+                & ~key_dead[ids]
+                & (effs <= alloc.free_nodes)
+                & ok_static
+            )
+            idxs = np.flatnonzero(elig)
+            if not idxs.size:
+                break
+            i = int(idxs[0])
+            done[i] = True
+            cand = cands[i]
+            key = keys[i]
+            if self.dispatch_start(
+                cand, now, "backfill", key, bool(screened[i])
+            ):
+                self.note_started_out_of_order(cand.id)
+                self.pending -= 1
+                started += 1
+                self.sample()
+            else:
+                failed.add(key)
+                key_dead[key_ids[key]] = True
+        return started
+
+    def conservative_schedule_vector(self, now: float) -> None:
+        """Column-oriented conservative pass — identical decisions to
+        :meth:`conservative_schedule`: same profile, same reservations,
+        same start order; the per-candidate ``earliest_fit`` runs as
+        one cumsum sweep and proven-lost searches are charged skips."""
+        from repro.sched.profile import FOREVER, FreeProfile
+
+        alloc = self.allocator
+        alloc.stats.pass_vector_rounds += 1
+        self.prune_fifo_front()
+        failed: set = set()
+        profile = FreeProfile(now, alloc.free_nodes)
+        for est_end, eff_size in self.running.values():
+            profile.release_at(est_end, eff_size)
+        # Materialize the scan window (the queue slice cannot change
+        # mid-pass; jobs started by this pass are exactly the ones the
+        # scalar loop would have already visited).
+        window = self.sim.backfill_window
+        cands: List[Job] = []
+        idx = self.head - 1
+        while len(cands) <= window:
+            idx += 1
+            if idx >= len(self.queue):
+                break
+            job = self.queue[idx]
+            if job.id in self.started_out_of_order:
+                continue
+            cands.append(job)
+        if not cands:
+            return
+        n = len(cands)
+        table = self.table
+        rows = np.fromiter(
+            (table.row_of[j.id] for j in cands), np.int64, n
+        )
+        effs = alloc.effective_sizes(table.sizes[rows])
+        walls = self.walltimes_vec(rows)
+        screen = alloc.batch_screen(effs)
+        for i, job in enumerate(cands):
+            size = int(effs[i])
+            wall = float(walls[i])
+            start = profile.earliest_fit_vec(size, wall)
+            key = (size, job.bw_need)
+            if start <= now:
+                if key not in failed and self.dispatch_start(
+                    job, now, "reserved", key,
+                    bool(screen[i]) if screen is not None else False,
+                ):
+                    self.note_started_out_of_order(job.id)
+                    self.pending -= 1
+                    profile.reserve(now, now + wall, size)
+                    self.sample()
+                    continue
+                # Fragmentation-blocked (see the scalar twin): defer
+                # the reservation to the next expected release.
+                failed.add(key)
+                later = [t for t in profile._times if t > now]
+                start = later[0] if later else FOREVER
+            if start != FOREVER:
+                profile.reserve(start, start + wall, size)
 
     # -- drive loop ----------------------------------------------------
     def drive(self) -> None:
@@ -936,6 +1243,9 @@ class _RunState:
             candidate_hits=self.allocator.stats.candidate_hits,
             memo_hits=self.allocator.stats.memo_hits,
             backtrack_steps=self.allocator.stats.backtrack_steps,
+            queue_prefiltered=self.allocator.stats.queue_prefiltered,
+            size_cut_skips=self.allocator.stats.size_cut_skips,
+            pass_vector_rounds=self.allocator.stats.pass_vector_rounds,
             samples=(
                 list(self.sampler.rows) if self.sampler is not None else []
             ),

@@ -82,7 +82,9 @@ class TestParityProperty:
         # Mirrored stats fields agree with the allocator too (the result
         # copied them at run end; nothing ran since).
         for field in ("cache_hits", "cache_misses", "pods_pruned",
-                      "candidate_hits", "memo_hits", "backtrack_steps"):
+                      "candidate_hits", "memo_hits", "backtrack_steps",
+                      "queue_prefiltered", "size_cut_skips",
+                      "pass_vector_rounds"):
             assert getattr(result, field) == getattr(stats, field), field
         # Derived series.
         assert _series(
