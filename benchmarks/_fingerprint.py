@@ -37,6 +37,16 @@ once on the scalar twin (``REPRO_NAIVE_PASS=1``) — and asserts
 byte-identical decisions, in event-driven, batch-step *and* faulted
 replay.
 
+Event-drain invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --vs-scalar-events [--scale 0.02]
+
+same shape for the event drain: every scheme twice — once on the
+columnar drain (bulk ``release_many`` completions, batched arrivals)
+and once on the one-event-at-a-time twin (``REPRO_NAIVE_EVENTS=1``) —
+asserting byte-identical decisions in event-driven, batch-step and
+faulted replay.
+
 Telemetry invariance::
 
     PYTHONPATH=src python benchmarks/_fingerprint.py --obs [--scale 0.02]
@@ -235,6 +245,45 @@ def vs_scalar(scale: float) -> None:
             os.environ["REPRO_NAIVE_PASS"] = prev
 
 
+def vs_scalar_events(scale: float) -> None:
+    """Assert the columnar and one-event-at-a-time drains decide
+    identically — event-driven, batch-step and faulted replay."""
+    variants = (
+        ("event", {}),
+        ("batch", dict(step_interval=300.0)),
+        ("faulted", dict(
+            mttf=20_000.0, fault_seed=1,
+            fault_victim_policy="requeue-remaining",
+            checkpoint_interval=600.0,
+        )),
+    )
+    prev = os.environ.pop("REPRO_NAIVE_EVENTS", None)
+    try:
+        for label, kwargs in variants:
+            os.environ.pop("REPRO_NAIVE_EVENTS", None)
+            columnar = _decisions(fingerprint(scale, **kwargs))
+            os.environ["REPRO_NAIVE_EVENTS"] = "1"
+            scalar = _decisions(fingerprint(scale, **kwargs))
+            bad = _diff(
+                f"columnar[{label}]", columnar,
+                f"scalar-events[{label}]", scalar,
+            )
+            if bad:
+                raise SystemExit(
+                    f"FINGERPRINTS-DIFFER: columnar vs scalar events "
+                    f"({label}: {bad} of {len(columnar)} runs)"
+                )
+            print(
+                f"FINGERPRINTS-IDENTICAL ({len(columnar)}/{len(columnar)} "
+                f"{label} runs, columnar vs scalar events, scale {scale})"
+            )
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_NAIVE_EVENTS", None)
+        else:
+            os.environ["REPRO_NAIVE_EVENTS"] = prev
+
+
 def vs_obs(scale: float) -> None:
     """Assert that full telemetry changes no scheduling decision."""
     from repro.sched.log import ScheduleLog
@@ -391,6 +440,9 @@ if __name__ == "__main__":
         sys.exit(0)
     if "--vs-scalar" in sys.argv:
         vs_scalar(scale)
+        sys.exit(0)
+    if "--vs-scalar-events" in sys.argv:
+        vs_scalar_events(scale)
         sys.exit(0)
     if "--obs" in sys.argv:
         vs_obs(scale)

@@ -129,6 +129,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="use the scalar scheduling pass instead of the "
                    "vectorized one (identical decisions; for invariance "
                    "checks and timing comparisons)")
+    p.add_argument("--naive-events", action="store_true",
+                   help="drain events one at a time instead of in "
+                   "columnar batches (identical decisions; for "
+                   "invariance checks and timing comparisons)")
 
     p = sub.add_parser(
         "resilience",
@@ -257,7 +261,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             fault_victim_policy=args.fault_victim_policy,
                             checkpoint_interval=args.checkpoint_interval,
                             step_interval=args.step_interval,
-                            use_vector_pass=not args.naive_pass)
+                            use_vector_pass=not args.naive_pass,
+                            use_columnar_events=not args.naive_events)
         print(result.summary())
         if result.step_interval is not None:
             print(f"batch-step: {result.scheduling_rounds} rounds at "

@@ -14,7 +14,17 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Set, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -281,6 +291,47 @@ class Allocator(ABC):
         self.invalidate_feasibility_cache()
         self.stats.releases += 1
         self.stats.alloc_seconds += time.perf_counter() - t0
+
+    def release_many(self, job_ids: Sequence[int]) -> None:
+        """Release a batch of finished jobs in one pass.
+
+        Equivalent to calling :meth:`release` once per id, but the
+        feasibility cache and watermark are invalidated once for the
+        whole batch and the underlying state update is grouped (a
+        single occupancy-index pass when the allocator has no custom
+        per-job teardown).  Validates every id up front so a bad id
+        leaves the allocator untouched.
+        """
+        ids = list(job_ids)
+        if not ids:
+            return
+        t0 = time.perf_counter()
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in release_many")
+        for job_id in ids:
+            if job_id not in self.allocations:
+                raise ValueError(f"job {job_id} is not allocated")
+        for job_id in ids:
+            del self.allocations[job_id]
+        self._release_many(ids)
+        self.invalidate_feasibility_cache()
+        self.stats.releases += len(ids)
+        self.stats.alloc_seconds += time.perf_counter() - t0
+
+    def _release_many(self, job_ids: List[int]) -> None:
+        """Batch counterpart of :meth:`_release`.
+
+        Subclasses with per-job teardown bookkeeping (e.g. owner maps)
+        either override this or inherit the conservative fallback: if
+        the subclass customized :meth:`_release`, call it per job so
+        the bookkeeping still runs; otherwise hand the whole batch to
+        :meth:`ClusterState.release_many`.
+        """
+        if type(self)._release is not Allocator._release:
+            for job_id in job_ids:
+                self._release(job_id)
+        else:
+            self.state.release_many(job_ids)
 
     def invalidate_feasibility_cache(self) -> None:
         """Forget every cached infeasibility verdict.

@@ -160,6 +160,13 @@ class LeastConstrainedAllocator(JigsawAllocator):
         else:
             super()._release(job_id)
 
+    def _release_many(self, job_ids) -> None:
+        self.state.release_many(job_ids)
+        if self.share_links:
+            for job_id in job_ids:
+                self.links.release(job_id)
+                self._bw_by_job.pop(job_id, None)
+
     # ------------------------------------------------------------------
     # Shapes: the full least-constrained space
     # ------------------------------------------------------------------

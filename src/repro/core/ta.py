@@ -291,6 +291,16 @@ class TopologyAwareAllocator(Allocator):
 
     def _release(self, job_id: int) -> None:
         super()._release(job_id)
+        self._drop_meta(job_id)
+
+    def _release_many(self, job_ids) -> None:
+        # One grouped occupancy-index update; the owner-map teardown is
+        # per job either way.
+        self.state.release_many(job_ids)
+        for job_id in job_ids:
+            self._drop_meta(job_id)
+
+    def _drop_meta(self, job_id: int) -> None:
         cls, leaves, pods = self._job_meta.pop(job_id)
         if cls != "t1":
             for leaf in leaves:

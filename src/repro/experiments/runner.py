@@ -29,6 +29,7 @@ PAPER_JOB_COUNTS = {
     "Synth-22": 10_000,
     "Synth-28": 10_000,
     "Synth-32": 10_000,
+    "Synth-36": 10_000,
     "Thunder": 105_764,
     "Atlas": 29_700,
     "Aug-Cab": 30_691,
@@ -43,6 +44,7 @@ DEFAULT_JOB_COUNTS = {
     "Synth-22": 1_500,
     "Synth-28": 1_200,
     "Synth-32": 1_000,
+    "Synth-36": 1_000,
     "Thunder": 4_000,
     "Atlas": 3_000,
     "Aug-Cab": 3_500,
@@ -52,12 +54,13 @@ DEFAULT_JOB_COUNTS = {
 }
 
 #: switch radix of the cluster each trace is simulated on (section
-#: 5.4.3; Synth-32 is the beyond-paper radix-32 scale-up preset)
+#: 5.4.3; Synth-32 and Synth-36 are the beyond-paper scale-up presets)
 TRACE_CLUSTER_RADIX = {
     "Synth-16": 16,
     "Synth-22": 22,
     "Synth-28": 28,
     "Synth-32": 32,
+    "Synth-36": 36,
     "Thunder": 18,
     "Atlas": 18,
     "Aug-Cab": 18,
@@ -168,6 +171,7 @@ def run_scheme(
     checkpoint_interval: float = 0.0,
     step_interval: Optional[float] = None,
     use_vector_pass: bool = True,
+    use_columnar_events: bool = True,
     **allocator_kwargs,
 ) -> SimResult:
     """Simulate ``setup``'s trace under one scheme (and speed-up scenario).
@@ -199,6 +203,8 @@ def run_scheme(
     ``use_vector_pass=False`` selects the scalar scheduling-pass twin
     (identical decisions; see the vector-pass notes on
     :class:`~repro.sched.simulator.Simulator`).
+    ``use_columnar_events=False`` selects the one-event-at-a-time drain
+    twin (identical decisions; see the columnar-event notes there).
 
     Telemetry (all strictly passive; see :mod:`repro.obs`):
 
@@ -248,6 +254,7 @@ def run_scheme(
         checkpoint_interval=checkpoint_interval,
         step_interval=step_interval,
         use_vector_pass=use_vector_pass,
+        use_columnar_events=use_columnar_events,
     )
     result = sim.run(setup.trace)
     if metrics is not None:

@@ -73,6 +73,7 @@ from repro.sched.eventcore import (
     CompletionQueue,
     EventStreams,
     JobTable,
+    RunningSet,
     round_boundary,
 )
 from repro.sched.job import Job
@@ -115,6 +116,20 @@ class Simulator:
         is vectorized.  ``False`` — or ``REPRO_NAIVE_PASS=1`` in the
         environment — selects the scalar twin; both produce identical
         placements (``benchmarks/_fingerprint.py --vs-scalar``).
+    use_columnar_events:
+        ``True`` (default) drains events between scheduling passes in
+        columnar batches: completions release their allocations through
+        one :meth:`~repro.core.allocator.Allocator.release_many` call
+        (a single occupancy-index update and one grouped
+        feasibility-cache invalidation), arrivals enqueue as a bulk
+        state transition, and fault kills drain victims through the
+        same bulk release path.  ``False`` — or ``REPRO_NAIVE_EVENTS=1``
+        in the environment — selects the historical one-event-at-a-time
+        twin; both produce identical decisions
+        (``benchmarks/_fingerprint.py --vs-scalar-events``).  Runs that
+        attach per-event telemetry (a sampler, an enabled tracer, or an
+        event log) always take the scalar drain, which keeps the
+        telemetry stream per-event without changing any decision.
     """
 
     #: how the head's reservation evolves while it waits:
@@ -159,6 +174,7 @@ class Simulator:
         checkpoint_interval: float = 0.0,
         step_interval: Optional[float] = None,
         use_vector_pass: bool = True,
+        use_columnar_events: bool = True,
     ):
         if not allocator.state.is_idle():
             raise ValueError("allocator must start idle")
@@ -230,6 +246,11 @@ class Simulator:
         if os.environ.get("REPRO_NAIVE_PASS", "") not in ("", "0"):
             use_vector_pass = False
         self.use_vector_pass = bool(use_vector_pass)
+        #: columnar event drain between passes (scalar twin stays
+        #: available for invariance checks, same knob pattern)
+        if os.environ.get("REPRO_NAIVE_EVENTS", "") not in ("", "0"):
+            use_columnar_events = False
+        self.use_columnar_events = bool(use_columnar_events)
         self.low_interference = allocator.low_interference
         #: the head job's current reservation: (job id, Reservation)
         self._sticky: Optional[Tuple[int, Reservation]] = None
@@ -267,13 +288,14 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def _reservation(
-        self, now: float, head_job: Job, running: Dict[int, Tuple[float, int]]
+        self, now: float, head_job: Job,
+        running_pairs: List[Tuple[float, int]],
     ) -> Reservation:
         return compute_reservation(
             now,
             self.allocator.effective_size(head_job.size),
             self.allocator.free_nodes,
-            list(running.values()),
+            list(running_pairs),
         )
 
 
@@ -326,8 +348,20 @@ class _RunState:
         #: ids of these entries, so the two counts track together
         self.pheap_stale = 0
         self.pending = 0
-        self.running: Dict[int, Tuple[float, int]] = {}
+        #: running jobs as an index of job-table rows; the per-run
+        #: planning columns (``est_end``, ``eff_size``) live on the
+        #: table, so reservation/backfill arithmetic reads column
+        #: slices instead of rebuilding arrays from a dict
+        self.run_rows = RunningSet(len(table))
         self.cur_busy = 0  # requested nodes currently computing
+        #: columnar event drain between passes; per-event telemetry
+        #: sinks force the scalar twin (identical decisions either way)
+        self.columnar_drain = (
+            sim.use_columnar_events
+            and sim.sampler is None
+            and sim.event_log is None
+            and not self.tracer.enabled
+        )
 
         self.instant = InstantHistogram()
         self.busy_area = 0.0
@@ -349,9 +383,6 @@ class _RunState:
         # so a fault-free run takes exactly the historical code path —
         # the empty-timeline fingerprint check holds the gate to that.
         self.resilience: Optional[ResilienceManager] = None
-        #: job id -> remaining work as a fraction of the base runtime
-        #: (absent = 1.0); shrinks when a checkpoint survives a kill
-        self.work_frac: Dict[int, float] = {}
         #: job id -> slot of its live completion event; a kill orphans
         #: the queued entry, which is dropped on drain by this check
         self.live_comp: Dict[int, int] = {}
@@ -378,11 +409,49 @@ class _RunState:
         elif sim.queue_order == "largest":
             self.priority_key = lambda job: -job.size
 
+    # -- running-set views ---------------------------------------------
+    @property
+    def running(self) -> Dict[int, Tuple[float, int]]:
+        """Dict view ``id -> (est_end, eff_size)`` of the running set.
+
+        Diagnostics/tests only — built on demand from the job-table
+        columns; hot paths read :attr:`run_rows` and the columns
+        directly.
+        """
+        table = self.table
+        return {
+            int(table.ids[r]): (
+                float(table.est_end[r]), int(table.eff_size[r])
+            )
+            for r in self.run_rows.rows().tolist()
+        }
+
+    def running_pairs(self) -> List[Tuple[float, int]]:
+        """``(est_end, eff_size)`` of every running job (reservation
+        profiles sort these, so the index's swap-remove order is
+        immaterial)."""
+        table = self.table
+        rows = self.run_rows.rows()
+        return list(
+            zip(table.est_end[rows].tolist(), table.eff_size[rows].tolist())
+        )
+
+    @property
+    def work_frac(self) -> Dict[int, float]:
+        """Dict view of the remaining-work column (diagnostics/tests):
+        ids whose remaining fraction has shrunk below 1."""
+        table = self.table
+        wf = table.work_frac
+        return {
+            int(table.ids[i]): float(wf[i])
+            for i in np.flatnonzero(wf != 1.0).tolist()
+        }
+
     # -- telemetry -----------------------------------------------------
     def sample_row(self, boundary: float) -> dict:
         resilience = self.resilience
         return simulator_row(
-            boundary, self.allocator, self.pending, len(self.running),
+            boundary, self.allocator, self.pending, len(self.run_rows),
             self.cur_busy,
             resilience.degraded_nodes if resilience is not None else 0,
             step_lag=max(0.0, boundary - self.last_sched_t),
@@ -440,7 +509,7 @@ class _RunState:
         est = self.plan_runtime(job) * self.sim.estimate_factor
         if self.resilience is not None:
             # A checkpoint-restarted job only redoes its lost work.
-            est *= self.work_frac.get(job.id, 1.0)
+            est *= float(self.table.work_frac[job.row])
         return est
 
     # -- transitions ---------------------------------------------------
@@ -471,16 +540,21 @@ class _RunState:
         else:
             actual = job.runtime_under(sim.low_interference)
         if self.resilience is not None:
-            actual *= self.work_frac.get(job.id, 1.0)
+            actual *= float(self.table.work_frac[job.row])
         job.end = now + actual
         slot = self.streams.completions.push(job.end, job)
         if self.resilience is not None:
             self.live_comp[job.id] = slot
         # Planning sees the *estimated* completion time — the same
         # estimate ``walltime_est`` hands the backfill rules, so the
-        # shadow computed from ``running`` and the window checks agree.
-        self.running[job.id] = (now + self.walltime_est(job), self.eff(job))
-        self.table.state[self.table.row_of[job.id]] = JobTable.RUNNING
+        # shadow computed from the running columns and the window
+        # checks agree.
+        row = job.row
+        table = self.table
+        table.est_end[row] = now + self.walltime_est(job)
+        table.eff_size[row] = self.eff(job)
+        self.run_rows.add(row)
+        table.state[row] = JobTable.RUNNING
         self.cur_busy += job.size
         return True
 
@@ -555,24 +629,27 @@ class _RunState:
             pheap[:] = live
             heapq.heapify(pheap)
 
-    def kill_job(self, job: Job, now: float) -> None:
+    def kill_job(self, job: Job, now: float, released: bool = False) -> None:
         """Drain one fault victim through the ordinary release path
-        and resubmit it per the active queue order."""
+        and resubmit it per the active queue order.  ``released=True``
+        means the caller already returned the allocation (the bulk
+        path in :meth:`kill_jobs`)."""
         resilience = self.resilience
         elapsed = now - job.start
         planned = job.end - job.start
         saved = min(resilience.saved_work(elapsed), planned)
-        self.allocator.release(job.id)
+        if not released:
+            self.allocator.release(job.id)
         if self.sim.runtime_model is not None:
             self.sim.runtime_model.on_release(job.id)
-        self.running.pop(job.id)
+        self.run_rows.discard(job.row)
         self.live_comp.pop(job.id, None)
         self.cur_busy -= job.size
         resilience.stats.wasted_node_seconds += (elapsed - saved) * job.size
         resilience.stats.resubmissions += 1
         if planned > 0 and saved > 0:
-            frac = self.work_frac.get(job.id, 1.0)
-            self.work_frac[job.id] = frac * (1.0 - saved / planned)
+            wf = self.table.work_frac
+            wf[job.row] = float(wf[job.row]) * (1.0 - saved / planned)
         job.start = -1.0
         job.end = -1.0
         if self.tracer.enabled:
@@ -590,6 +667,18 @@ class _RunState:
         if self.event_log is not None:
             self.event_log.record(now, "requeue", job.id, job.size)
         self.sample()
+
+    def kill_jobs(self, jobs: List[Job], now: float) -> None:
+        """Drain a fault's victims through the bulk release path.
+
+        One grouped :meth:`~repro.core.allocator.Allocator.release_many`
+        returns every victim's allocation, then each victim runs the
+        ordinary :meth:`kill_job` bookkeeping (in the same sorted-id
+        order the scalar twin uses, so requeue order is identical).
+        """
+        self.allocator.release_many([job.id for job in jobs])
+        for job in jobs:
+            self.kill_job(job, now, released=True)
 
     # -- queue views ---------------------------------------------------
     def prune_fifo_front(self) -> None:
@@ -684,7 +773,7 @@ class _RunState:
         self.prune_fifo_front()
         failed: set = set()
         profile = FreeProfile(now, self.allocator.free_nodes)
-        for est_end, eff_size in self.running.values():
+        for est_end, eff_size in self.running_pairs():
             profile.release_at(est_end, eff_size)
         scanned = 0
         idx = self.head - 1
@@ -781,7 +870,8 @@ class _RunState:
             or expired
         ):
             sim._sticky = (
-                head_job.id, sim._reservation(now, head_job, self.running)
+                head_job.id,
+                sim._reservation(now, head_job, self.running_pairs()),
             )
         reservation = sim._sticky[1]
         tracer = self.tracer
@@ -866,26 +956,20 @@ class _RunState:
             plan = table.runtimes[rows]
         est = plan * sim.estimate_factor
         if self.resilience is not None:
-            frac = np.fromiter(
-                (
-                    self.work_frac.get(int(i), 1.0)
-                    for i in table.ids[rows]
-                ),
-                np.float64,
-                rows.size,
-            )
-            est = est * frac
+            est = est * table.work_frac[rows]
         return est
 
     def reservation_vec(self, now: float, head_job: Job) -> Reservation:
-        """The head's reservation from the running set's end/size
-        columns (bit-identical to ``Simulator._reservation``)."""
-        running = self.running
-        n = len(running)
-        ends = np.fromiter((e for e, _ in running.values()), np.float64, n)
-        sizes = np.fromiter((s for _, s in running.values()), np.int64, n)
+        """The head's reservation straight from the running columns
+        (bit-identical to ``Simulator._reservation``)."""
+        table = self.table
+        rows = self.run_rows.rows()
         return reservation_from_arrays(
-            now, self.eff(head_job), self.allocator.free_nodes, ends, sizes
+            now,
+            self.eff(head_job),
+            self.allocator.free_nodes,
+            table.est_end[rows],
+            table.eff_size[rows],
         )
 
     def easy_schedule_vector(self, now: float) -> None:
@@ -962,9 +1046,7 @@ class _RunState:
         alloc = self.allocator
         table = self.table
         n = len(cands)
-        rows = np.fromiter(
-            (table.row_of[j.id] for j in cands), np.int64, n
-        )
+        rows = np.fromiter((j.row for j in cands), np.int64, n)
         effs = alloc.effective_sizes(table.sizes[rows])
         walls = self.walltimes_vec(rows)
         # may_backfill, decomposed: given eff <= free (checked live in
@@ -1033,7 +1115,7 @@ class _RunState:
         self.prune_fifo_front()
         failed: set = set()
         profile = FreeProfile(now, alloc.free_nodes)
-        for est_end, eff_size in self.running.values():
+        for est_end, eff_size in self.running_pairs():
             profile.release_at(est_end, eff_size)
         # Materialize the scan window (the queue slice cannot change
         # mid-pass; jobs started by this pass are exactly the ones the
@@ -1053,9 +1135,7 @@ class _RunState:
             return
         n = len(cands)
         table = self.table
-        rows = np.fromiter(
-            (table.row_of[j.id] for j in cands), np.int64, n
-        )
+        rows = np.fromiter((j.row for j in cands), np.int64, n)
         effs = alloc.effective_sizes(table.sizes[rows])
         walls = self.walltimes_vec(rows)
         screen = alloc.batch_screen(effs)
@@ -1082,6 +1162,247 @@ class _RunState:
             if start != FOREVER:
                 profile.reserve(start, start + wall, size)
 
+    # -- event drains --------------------------------------------------
+    def drain_scalar(
+        self, times: np.ndarray, kinds: np.ndarray, payloads: np.ndarray
+    ) -> Tuple[int, int]:
+        """Apply one round's events one at a time (the historical loop;
+        the ``REPRO_NAIVE_EVENTS=1`` twin, and the only drain that
+        feeds per-event telemetry sinks).  Returns (arrivals,
+        completions)."""
+        sim = self.sim
+        streams = self.streams
+        tracer = self.tracer
+        sampler = self.sampler
+        table = self.table
+        resilience = self.resilience
+        arrivals = 0
+        completions = 0
+        for t, kind, payload in zip(
+            times.tolist(), kinds.tolist(), payloads.tolist()
+        ):
+            if sampler is not None:
+                # Boundaries before t see the state as of entering
+                # them: sample *before* applying the event.
+                sampler.advance_to(t, self.sample_row)
+            if tracer.enabled:
+                tracer.sim_time = t
+            self.advance(t)
+            if kind == FAULT_REPAIR:
+                resilience.repair(payload, t)
+            elif kind == FAULT_INJECT:
+                # Victims drain through the ordinary release path
+                # before the injector claims the hardware.
+                for victim_id in resilience.victims(payload):
+                    self.kill_job(
+                        table.jobs[table.row_of[victim_id]], t
+                    )
+                resilience.inject(payload, t)
+            elif kind == COMPLETION:
+                job = streams.completions.job(payload)
+                if resilience is not None:
+                    if self.live_comp.get(job.id) != payload:
+                        continue  # orphaned by a kill
+                    self.live_comp.pop(job.id)
+                self.allocator.release(job.id)
+                if sim.runtime_model is not None:
+                    sim.runtime_model.on_release(job.id)
+                self.run_rows.discard(job.row)
+                self.cur_busy -= job.size
+                table.state[job.row] = JobTable.DONE
+                self.last_completion = t
+                completions += 1
+                if tracer.enabled:
+                    attrs = {"job": job.id, "size": job.size}
+                    tracer.instant("sched.complete", attrs)
+                    if self.event_log is not None:
+                        self.event_log.record(
+                            t, "complete", job.id, job.size, attrs=attrs
+                        )
+                elif self.event_log is not None:
+                    self.event_log.record(t, "complete", job.id, job.size)
+                self.sample()
+            else:  # ARRIVAL — payload is the job-table row
+                job = table.jobs[payload]
+                arrivals += 1
+                if self.event_log is not None:
+                    self.event_log.record(t, "arrive", job.id, job.size)
+                self.enqueue(job)
+        return arrivals, completions
+
+    def drain_columnar(
+        self, times: np.ndarray, kinds: np.ndarray, payloads: np.ndarray
+    ) -> Tuple[int, int]:
+        """Apply one round's events as bulk state transitions.
+
+        ``take_round`` yields the events in global ``(time, kind,
+        payload)`` order; this splits the batch into maximal
+        same-kind segments (preserving that order) and hands
+        completion/arrival segments to the columnar handlers.  Fault
+        events stay per-event — they are rare — but their victims
+        drain through the bulk release path (:meth:`kill_jobs`).
+        Decisions, areas and histogram counts are identical to
+        :meth:`drain_scalar`.
+
+        Tiny rounds (event-driven mode drains one timestamp at a time)
+        fall back to the scalar loop: segmenting a two-event batch
+        costs more than it saves, and the two drains are
+        interchangeable mid-run precisely because they are decision-
+        identical.
+        """
+        n = len(times)
+        if n < 16:
+            return self.drain_scalar(times, kinds, payloads)
+        table = self.table
+        resilience = self.resilience
+        arrivals = 0
+        completions = 0
+        cuts = np.flatnonzero(np.diff(kinds)) + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [n]))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            kind = int(kinds[s])
+            if kind == COMPLETION:
+                completions += self.complete_batch(
+                    times[s:e], payloads[s:e]
+                )
+            elif kind == ARRIVAL:
+                self.enqueue_batch(times[s:e], payloads[s:e])
+                arrivals += e - s
+            else:
+                for t, payload in zip(
+                    times[s:e].tolist(), payloads[s:e].tolist()
+                ):
+                    self.advance(t)
+                    if kind == FAULT_REPAIR:
+                        resilience.repair(payload, t)
+                    else:  # FAULT_INJECT
+                        victims = resilience.victims(payload)
+                        if victims:
+                            self.kill_jobs(
+                                [
+                                    table.jobs[table.row_of[vid]]
+                                    for vid in victims
+                                ],
+                                t,
+                            )
+                        resilience.inject(payload, t)
+        return arrivals, completions
+
+    def complete_batch(self, times: np.ndarray, slots: np.ndarray) -> int:
+        """Retire a time-sorted run of completions in one transition.
+
+        The area accumulators advance event by event in the exact
+        float-operation order of the scalar twin (the utilization
+        metrics are sums of per-interval products, so association
+        order matters down to the bit); everything O(1)-per-event
+        beyond that — allocation release, the occupancy-index update,
+        the feasibility-cache invalidation — is grouped: one
+        ``release_many``, one state-column write per job, one
+        histogram ``add_many``.
+        """
+        streams = self.streams
+        table = self.table
+        resilience = self.resilience
+        run_rows = self.run_rows
+        state_col = table.state
+        done = JobTable.DONE
+        # Constant across the run: no arrivals, kills or fault events
+        # occur inside a same-kind segment.
+        pending = self.pending
+        cap = self.capacity()
+        degraded = resilience.degraded_nodes if resilience is not None else 0
+        stats = resilience.stats if resilience is not None else None
+        last_t = self.last_t
+        tba = self.total_busy_area
+        ba = self.busy_area
+        da = self.demand_area
+        busy = self.cur_busy
+        live: List[Job] = []
+        util: List[float] = []
+        want_util = pending > 0 and cap > 0
+        for t, slot in zip(times.tolist(), slots.tolist()):
+            dt = t - last_t
+            if dt > 0:
+                tba += busy * dt
+                if pending > 0:
+                    ba += busy * dt
+                    da += cap * dt
+                if stats is not None:
+                    stats.degraded_node_seconds += degraded * dt
+                last_t = t
+            job = streams.completions.job(slot)
+            if resilience is not None:
+                # Orphaned by a kill: the clock still advanced above,
+                # exactly like the scalar twin.
+                if self.live_comp.get(job.id) != slot:
+                    continue
+                self.live_comp.pop(job.id)
+            busy -= job.size
+            live.append(job)
+            self.last_completion = t
+            if want_util:
+                util.append(100.0 * busy / cap)
+        self.last_t = last_t
+        self.total_busy_area = tba
+        self.busy_area = ba
+        self.demand_area = da
+        self.cur_busy = busy
+        if live:
+            self.allocator.release_many([job.id for job in live])
+            rm = self.sim.runtime_model
+            for job in live:
+                if rm is not None:
+                    rm.on_release(job.id)
+                run_rows.discard(job.row)
+                state_col[job.row] = done
+        if util:
+            self.instant.add_many(np.array(util, np.float64))
+        return len(live)
+
+    def enqueue_batch(self, times: np.ndarray, rows: np.ndarray) -> None:
+        """Enqueue a time-sorted run of arrivals in one transition."""
+        table = self.table
+        resilience = self.resilience
+        stats = resilience.stats if resilience is not None else None
+        degraded = resilience.degraded_nodes if resilience is not None else 0
+        cap = self.capacity()
+        last_t = self.last_t
+        tba = self.total_busy_area
+        ba = self.busy_area
+        da = self.demand_area
+        busy = self.cur_busy
+        pending = self.pending
+        for t in times.tolist():
+            dt = t - last_t
+            if dt > 0:
+                tba += busy * dt
+                if pending > 0:
+                    ba += busy * dt
+                    da += cap * dt
+                if stats is not None:
+                    stats.degraded_node_seconds += degraded * dt
+                last_t = t
+            pending += 1
+        self.last_t = last_t
+        self.total_busy_area = tba
+        self.busy_area = ba
+        self.demand_area = da
+        jobs = [table.jobs[r] for r in rows.tolist()]
+        sim = self.sim
+        if self.priority_key is None:
+            self.queue.extend(jobs)
+            sim.peak_queue_len = max(sim.peak_queue_len, len(self.queue))
+        else:
+            pheap = self.pheap
+            for job in jobs:
+                heapq.heappush(
+                    pheap, (self.priority_key(job), next(self._pseq), job)
+                )
+            sim.peak_queue_len = max(sim.peak_queue_len, len(pheap))
+        self.pending = pending
+        table.state[rows] = JobTable.QUEUED
+
     # -- drive loop ----------------------------------------------------
     def drive(self) -> None:
         """Run rounds until every stream is drained.
@@ -1099,7 +1420,6 @@ class _RunState:
         tracer = self.tracer
         sampler = self.sampler
         table = self.table
-        resilience = self.resilience
         t0 = self.last_t
         round_idx = 0
         while True:
@@ -1116,58 +1436,14 @@ class _RunState:
                 else None
             )
             times, kinds, payloads = streams.take_round(round_t)
-            arrivals = 0
-            completions = 0
-            for t, kind, payload in zip(
-                times.tolist(), kinds.tolist(), payloads.tolist()
-            ):
-                if sampler is not None:
-                    # Boundaries before t see the state as of entering
-                    # them: sample *before* applying the event.
-                    sampler.advance_to(t, self.sample_row)
-                if tracer.enabled:
-                    tracer.sim_time = t
-                self.advance(t)
-                if kind == FAULT_REPAIR:
-                    resilience.repair(payload, t)
-                elif kind == FAULT_INJECT:
-                    # Victims drain through the ordinary release path
-                    # before the injector claims the hardware.
-                    for victim_id in resilience.victims(payload):
-                        self.kill_job(
-                            table.jobs[table.row_of[victim_id]], t
-                        )
-                    resilience.inject(payload, t)
-                elif kind == COMPLETION:
-                    job = streams.completions.job(payload)
-                    if resilience is not None:
-                        if self.live_comp.get(job.id) != payload:
-                            continue  # orphaned by a kill
-                        self.live_comp.pop(job.id)
-                    self.allocator.release(job.id)
-                    if sim.runtime_model is not None:
-                        sim.runtime_model.on_release(job.id)
-                    self.running.pop(job.id)
-                    self.cur_busy -= job.size
-                    table.state[table.row_of[job.id]] = JobTable.DONE
-                    self.last_completion = t
-                    completions += 1
-                    if tracer.enabled:
-                        attrs = {"job": job.id, "size": job.size}
-                        tracer.instant("sched.complete", attrs)
-                        if self.event_log is not None:
-                            self.event_log.record(
-                                t, "complete", job.id, job.size, attrs=attrs
-                            )
-                    elif self.event_log is not None:
-                        self.event_log.record(t, "complete", job.id, job.size)
-                    self.sample()
-                else:  # ARRIVAL — payload is the job-table row
-                    job = table.jobs[payload]
-                    arrivals += 1
-                    if self.event_log is not None:
-                        self.event_log.record(t, "arrive", job.id, job.size)
-                    self.enqueue(job)
+            if self.columnar_drain:
+                arrivals, completions = self.drain_columnar(
+                    times, kinds, payloads
+                )
+            else:
+                arrivals, completions = self.drain_scalar(
+                    times, kinds, payloads
+                )
             # The scheduling pass runs at the round boundary (in event
             # mode the boundary *is* the batch timestamp, so these
             # advances are no-ops).
@@ -1186,7 +1462,7 @@ class _RunState:
                     arrivals=arrivals, completions=completions,
                     queue_before=queue_before, queue_after=self.pending,
                     started=queue_before - self.pending,
-                    running=len(self.running),
+                    running=len(self.run_rows),
                     free_nodes=self.allocator.free_nodes,
                 )
                 tracer.end(span)
@@ -1198,7 +1474,7 @@ class _RunState:
                 )
                 tracer.end(rspan)
             round_idx += 1
-            if self.pending and not self.running and streams.empty():
+            if self.pending and not len(self.run_rows) and streams.empty():
                 # Nothing can ever start these jobs (should not happen
                 # for valid traces; recorded for failure-injection tests).
                 while (job := self.peek_head()) is not None:

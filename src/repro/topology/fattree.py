@@ -312,6 +312,10 @@ class FatTree(XGFT):
 
 
 #: The four experiment clusters of section 5.1, keyed by switch radix,
-#: plus the radix-32 (8192-node) scale-up preset the vector-pass
-#: benchmarks exercise beyond the paper's largest machine.
-PAPER_CLUSTERS = {16: 1024, 18: 1458, 22: 2662, 28: 5488, 32: 8192}
+#: plus the beyond-paper scale-up presets: radix-32 (8192 nodes, the
+#: vector-pass benchmarks) and radix-36 (11664 nodes — the maximal
+#: three-level tree a radix-36 switch supports, 18·18·36 — the columnar
+#: event-core smoke target).
+PAPER_CLUSTERS = {
+    16: 1024, 18: 1458, 22: 2662, 28: 5488, 32: 8192, 36: 11664,
+}

@@ -84,8 +84,8 @@ def test_requeue_hygiene_under_overlapping_faults(
 
     orig_kill = _RunState.kill_job
 
-    def checked_kill(self, job, now):
-        orig_kill(self, job, now)
+    def checked_kill(self, job, now, **kw):
+        orig_kill(self, job, now, **kw)
         kills_per_job[job.id] = kills_per_job.get(job.id, 0) + 1
         frac = self.work_frac.get(job.id, 1.0)
         assert frac <= frac_seen.get(job.id, 1.0) + 1e-12
