@@ -18,6 +18,14 @@ no external schema libraries):
 * ``--metrics`` — Prometheus text exposition 0.0.4: ``# HELP``/
   ``# TYPE`` pairs, valid metric/label names, parseable values, and
   histogram ``_bucket`` series cumulative in ``le``.
+* ``--bench`` — a ``BENCH_<name>.json`` document against the
+  ``repro.bench/v1`` schema (:mod:`repro.obs.bench`): quantities carry
+  value/unit, counters are non-negative ints, the environment records
+  interpreter/platform/scale.
+* ``--provenance`` — per-job scheduling-provenance JSONL
+  (:mod:`repro.sched.metrics`): every line carries the full column
+  catalog, skip counts never exceed attempts, started jobs carry
+  consistent start/end/wait, unstarted jobs carry none.
 
 Exits non-zero with a per-file error listing on any violation.
 """
@@ -210,6 +218,137 @@ def check_metrics(path: str) -> List[str]:
     return errors
 
 
+def check_bench(path: str) -> List[str]:
+    errors: List[str] = []
+    with open(path, encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            return [f"{path}: not JSON ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{path}: not a JSON object"]
+    if doc.get("schema") != "repro.bench/v1":
+        errors.append(f"{path}: schema {doc.get('schema')!r} != "
+                      "'repro.bench/v1'")
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        errors.append(f"{path}: missing or empty name")
+    reps = doc.get("repetitions")
+    if not isinstance(reps, int) or isinstance(reps, bool) or reps < 1:
+        errors.append(f"{path}: repetitions {reps!r} not a positive int")
+    quantities = doc.get("quantities")
+    if not isinstance(quantities, dict) or not quantities:
+        errors.append(f"{path}: quantities missing or empty")
+    else:
+        for label, q in quantities.items():
+            where = f"{path}: quantities[{label!r}]"
+            if not isinstance(q, dict) or set(q) != {"value", "unit"}:
+                errors.append(f"{where}: needs exactly value/unit keys")
+                continue
+            if not isinstance(q["value"], (int, float)) or isinstance(
+                q["value"], bool
+            ) or math.isnan(q["value"]):
+                errors.append(f"{where}: bad value {q['value']!r}")
+            if not isinstance(q["unit"], str) or not q["unit"]:
+                errors.append(f"{where}: bad unit {q['unit']!r}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{path}: counters missing")
+    else:
+        for label, v in counters.items():
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(
+                    f"{path}: counters[{label!r}] {v!r} not a "
+                    "non-negative int"
+                )
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        errors.append(f"{path}: environment missing")
+    else:
+        for key in ("python", "platform", "scale"):
+            if key not in env:
+                errors.append(f"{path}: environment missing {key!r}")
+    return errors
+
+
+def check_provenance(path: str) -> List[str]:
+    from repro.sched.metrics import PROVENANCE_COLUMNS
+
+    skip_cols = ("skip_cache", "skip_cut", "skip_screen", "skip_search",
+                 "skip_budget")
+    states = {"pending", "queued", "running", "completed", "unscheduled"}
+    errors: List[str] = []
+    count = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            where = f"{path}:{lineno}"
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{where}: not JSON ({exc})")
+                continue
+            missing = [c for c in PROVENANCE_COLUMNS if c not in row]
+            if missing:
+                errors.append(f"{where}: missing columns {missing}")
+                continue
+            extra = set(row) - set(PROVENANCE_COLUMNS)
+            if extra:
+                errors.append(f"{where}: unknown columns {sorted(extra)}")
+            for col in ("attempts",) + skip_cols:
+                v = row[col]
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    errors.append(
+                        f"{where}: {col} {v!r} not a non-negative int"
+                    )
+                    break
+            else:
+                skips = sum(row[c] for c in skip_cols)
+                if skips > row["attempts"]:
+                    errors.append(
+                        f"{where}: {skips} skips exceed "
+                        f"{row['attempts']} attempts"
+                    )
+            if row["state"] not in states:
+                errors.append(f"{where}: unknown state {row['state']!r}")
+            started = row["start"] is not None
+            if started:
+                for col in ("end", "wait"):
+                    if row[col] is None:
+                        errors.append(
+                            f"{where}: started job missing {col}"
+                        )
+                if row["wait"] is not None and (
+                    abs((row["start"] - row["arrival"]) - row["wait"])
+                    > 1e-9
+                ):
+                    errors.append(
+                        f"{where}: wait {row['wait']} != "
+                        "start - arrival"
+                    )
+                if row["first_eligible"] is None:
+                    errors.append(
+                        f"{where}: started job never marked eligible"
+                    )
+                elif row["attempts"] < 1:
+                    errors.append(f"{where}: started job with 0 attempts")
+            else:
+                for col in ("end", "wait"):
+                    if row[col] is not None:
+                        errors.append(
+                            f"{where}: unstarted job carries {col}"
+                        )
+                if row["state"] in ("running", "completed"):
+                    errors.append(
+                        f"{where}: state {row['state']} without a start"
+                    )
+    if count == 0:
+        errors.append(f"{path}: no provenance rows")
+    return errors
+
+
 def _split_labels(raw: str) -> List[str]:
     """Split a label body on commas outside quoted values."""
     out, depth, cur = [], False, []
@@ -232,7 +371,8 @@ def _split_labels(raw: str) -> List[str]:
 if __name__ == "__main__":
     argv = sys.argv[1:]
     checks = {"--trace": check_trace, "--samples": check_samples,
-              "--metrics": check_metrics}
+              "--metrics": check_metrics, "--bench": check_bench,
+              "--provenance": check_provenance}
     all_errors: List[str] = []
     ran = 0
     for flag, fn in checks.items():

@@ -56,6 +56,16 @@ time-series sampler, schedule log, metric registry) — and asserts
 byte-identical scheduling decisions: observation must be strictly
 passive (the contract of :mod:`repro.obs`).
 
+Profiler/provenance invariance::
+
+    PYTHONPATH=src python benchmarks/_fingerprint.py --prof [--scale 0.02]
+
+runs every scheme twice — once plain and once with the stage profiler
+and per-job provenance recording enabled — and asserts byte-identical
+scheduling decisions (:mod:`repro.obs.prof` and the provenance columns
+are strictly passive).  ``--compare FILE --with-prof`` checks a saved
+dump against a profiled+provenance run for the same guarantee.
+
 Resilience invariance::
 
     PYTHONPATH=src python benchmarks/_fingerprint.py --empty-faults [--scale 0.02]
@@ -304,6 +314,25 @@ def vs_obs(scale: float) -> None:
     )
 
 
+def vs_prof(scale: float) -> None:
+    """Assert that the stage profiler and provenance recording change
+    no scheduling decision (the passivity contract of
+    :mod:`repro.obs.prof` and the provenance columns)."""
+    plain = fingerprint(scale)
+    profiled = fingerprint(scale, profiled=True, provenance=True)
+    bad = _diff("plain", _decisions(plain),
+                "profiled", _decisions(profiled))
+    if bad:
+        raise SystemExit(
+            f"FINGERPRINTS-DIFFER: plain vs profiled+provenance "
+            f"({bad} of {len(plain)} runs)"
+        )
+    print(
+        f"FINGERPRINTS-IDENTICAL ({len(plain)}/{len(plain)} runs, "
+        f"profiler+provenance off vs on, scale {scale})"
+    )
+
+
 def vs_empty_faults(scale: float) -> None:
     """Assert an explicitly-empty fault timeline changes nothing."""
     from repro.sched.resilience import FaultTimeline
@@ -406,16 +435,20 @@ def batch_selfcheck(
     )
 
 
-def compare(path: str, scale: float, workers: Optional[int]) -> None:
+def compare(
+    path: str, scale: float, workers: Optional[int], **run_kwargs
+) -> None:
     """Fingerprint the current code and diff against a saved dump.
 
     Only the decision keys are compared (schema-tolerant: a dump
     written before a diagnostic counter existed still compares, and a
-    newer dump's extra counters are ignored by older code).
+    newer dump's extra counters are ignored by older code).  Extra
+    keyword arguments (e.g. ``profiled=True, provenance=True`` from
+    ``--with-prof``) thread into the runs being fingerprinted.
     """
     with open(path) as fh:
         saved = json.load(fh)
-    current = fingerprint(scale, workers=workers)
+    current = fingerprint(scale, workers=workers, **run_kwargs)
     bad = _diff("saved", _decisions(saved), "current", _decisions(current))
     if bad:
         raise SystemExit(
@@ -447,6 +480,9 @@ if __name__ == "__main__":
     if "--obs" in sys.argv:
         vs_obs(scale)
         sys.exit(0)
+    if "--prof" in sys.argv:
+        vs_prof(scale)
+        sys.exit(0)
     if "--empty-faults" in sys.argv:
         vs_empty_faults(scale)
         sys.exit(0)
@@ -457,7 +493,11 @@ if __name__ == "__main__":
         batch_selfcheck(scale, workers=workers or 2)
         sys.exit(0)
     if "--compare" in sys.argv:
-        compare(sys.argv[sys.argv.index("--compare") + 1], scale, workers)
+        extra = {}
+        if "--with-prof" in sys.argv:
+            extra = dict(profiled=True, provenance=True)
+        compare(sys.argv[sys.argv.index("--compare") + 1], scale, workers,
+                **extra)
         sys.exit(0)
     path = sys.argv[1]
     data = fingerprint(scale, workers=workers)

@@ -1,0 +1,171 @@
+"""CI perf gate: compare fresh BENCH documents against committed baselines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/_perf_gate.py             # gate
+    PYTHONPATH=src python benchmarks/_perf_gate.py --update    # refresh
+    PYTHONPATH=src python benchmarks/_perf_gate.py --selftest  # negative test
+    PYTHONPATH=src python benchmarks/_perf_gate.py --only pass_scale
+
+Each gated benchmark module exposes a ``bench_payload()`` producing one
+schema-conforming ``BENCH_<name>.json`` document (see
+:mod:`repro.obs.bench`) at the pinned gate scale.  The gate runs every
+payload and compares it against the committed baseline under
+``benchmarks/results/``:
+
+* **counters** (deterministic work proxies) must match exactly — a
+  changed counter is a behavioral change, not machine noise, and fails
+  the gate even on a fast machine;
+* **wall-time quantities** fail one-sided when the current run exceeds
+  the baseline by more than the tolerance (default 3x: CI machines are
+  slow and shared, so the gate catches catastrophic regressions, not
+  single-digit percentages).
+
+``--update`` rewrites the baselines (commit the result when a counter
+change is intentional).  ``--selftest`` injects a synthetic regression
+into a fresh document (10x wall time, one perturbed counter) and exits
+non-zero unless the comparator flags both — the gate gating itself.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+RESULTS_DIR = HERE / "results"
+
+#: gated benchmark modules (each exposes ``bench_payload() -> dict``)
+GATED = (
+    "bench_table3_schedtime",
+    "bench_allocator_micro",
+    "bench_pass_scale",
+    "bench_event_core",
+)
+
+
+def _payloads(only=None):
+    sys.path.insert(0, str(HERE))
+    try:
+        for mod_name in GATED:
+            module = importlib.import_module(mod_name)
+            doc = module.bench_payload()
+            if only is not None and doc["name"] != only:
+                continue
+            yield doc
+    finally:
+        sys.path.remove(str(HERE))
+
+
+def update(only=None) -> int:
+    from repro.obs.bench import write_bench_json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    count = 0
+    for doc in _payloads(only):
+        path = RESULTS_DIR / f"BENCH_{doc['name']}.json"
+        write_bench_json(doc, path)
+        print(f"wrote {path}")
+        count += 1
+    if not count:
+        print(f"no gated benchmark named {only!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def gate(only=None, wall_tolerance: float | None = None) -> int:
+    from repro.obs.bench import (
+        GATE_SCALE,
+        WALL_TOLERANCE,
+        compare_bench,
+        load_bench_json,
+    )
+
+    tol = WALL_TOLERANCE if wall_tolerance is None else wall_tolerance
+    failed = 0
+    seen = 0
+    for doc in _payloads(only):
+        seen += 1
+        name = doc["name"]
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        if not path.exists():
+            print(f"FAIL {name}: no committed baseline at {path} "
+                  "(run --update and commit it)")
+            failed += 1
+            continue
+        baseline = load_bench_json(path)
+        b_scale = baseline.get("environment", {}).get("scale")
+        if b_scale != GATE_SCALE:
+            print(f"FAIL {name}: baseline captured at scale {b_scale}, "
+                  f"gate runs at {GATE_SCALE} — refresh with --update")
+            failed += 1
+            continue
+        verdict = compare_bench(baseline, doc, wall_tolerance=tol)
+        for note in verdict["notes"]:
+            print(f"note {name}: {note}")
+        if verdict["ok"]:
+            print(f"ok   {name}: counters exact, wall within "
+                  f"{tol:.0%} of baseline")
+        else:
+            for failure in verdict["failures"]:
+                print(f"FAIL {name}: {failure}")
+            failed += 1
+    if not seen:
+        print(f"no gated benchmark named {only!r}", file=sys.stderr)
+        return 2
+    if failed:
+        print(f"\nPERF-GATE-FAILED ({failed} of {seen} benchmarks)")
+        return 1
+    print(f"\nPERF-GATE-OK ({seen} benchmarks)")
+    return 0
+
+
+def selftest() -> int:
+    """Inject a synthetic regression and assert the comparator sees it."""
+    from repro.obs.bench import compare_bench
+
+    sys.path.insert(0, str(HERE))
+    try:
+        module = importlib.import_module("bench_allocator_micro")
+    finally:
+        sys.path.remove(str(HERE))
+    baseline = module.bench_payload()
+
+    regressed = json.loads(json.dumps(baseline))  # deep copy
+    wall_label = next(iter(regressed["quantities"]))
+    regressed["quantities"][wall_label]["value"] *= 10.0
+    counter_label = next(iter(regressed["counters"]))
+    regressed["counters"][counter_label] += 1
+
+    verdict = compare_bench(baseline, regressed)
+    wall_hit = any(wall_label in f for f in verdict["failures"])
+    counter_hit = any(counter_label in f for f in verdict["failures"])
+    if verdict["ok"] or not wall_hit or not counter_hit:
+        print("SELFTEST-FAILED: injected regression not detected:")
+        print(json.dumps(verdict, indent=2))
+        return 1
+
+    clean = compare_bench(baseline, json.loads(json.dumps(baseline)))
+    if not clean["ok"]:
+        print("SELFTEST-FAILED: identical documents did not compare clean:")
+        print(json.dumps(clean, indent=2))
+        return 1
+    print("SELFTEST-OK: injected 10x wall regression and counter drift "
+          "both detected; identical documents compare clean")
+    return 0
+
+
+if __name__ == "__main__":
+    only = None
+    if "--only" in sys.argv:
+        only = sys.argv[sys.argv.index("--only") + 1]
+    if "--selftest" in sys.argv:
+        sys.exit(selftest())
+    if "--update" in sys.argv:
+        sys.exit(update(only))
+    tol = None
+    if "--wall-tolerance" in sys.argv:
+        tol = float(sys.argv[sys.argv.index("--wall-tolerance") + 1])
+    sys.exit(gate(only, wall_tolerance=tol))

@@ -13,8 +13,14 @@ import time
 import pytest
 
 from repro import FatTree, make_allocator
+from repro.obs.bench import GATE_SCALE, environment, make_bench_result
 
 SIZES = [1, 3, 5, 8, 13, 20, 33, 48, 70]
+
+#: fixed timed-cycle count for the gate document (pytest-benchmark's
+#: adaptive iteration counts are nondeterministic; the gate needs the
+#: same work every run so its counters compare exactly)
+GATE_CYCLES = 120
 
 
 def _counters(allocator) -> str:
@@ -37,6 +43,38 @@ def _prefill(allocator, occupancy: float, seed: int = 7):
         if allocator.allocate(jid, rng.choice(SIZES)) is None:
             break
     return jid
+
+
+def bench_payload(scale: float = GATE_SCALE) -> dict:
+    """The ``BENCH_allocator_micro.json`` document: fixed-cycle
+    allocate/release cost per scheme on a radix-18 cluster at 85%
+    occupancy.  ``scale`` only labels the environment (the micro runs
+    no trace); the cycle count is pinned at :data:`GATE_CYCLES`."""
+    quantities, counters = {}, {}
+    for scheme in ("baseline", "ta", "laas", "jigsaw", "lc+s"):
+        tree = FatTree.from_radix(18)
+        allocator = make_allocator(scheme, tree)
+        _prefill(allocator, occupancy=0.85)
+        job_id = [10**6]
+
+        def one_cycle():
+            job_id[0] += 1
+            if allocator.allocate(job_id[0], 13) is not None:
+                allocator.release(job_id[0])
+
+        one_cycle()  # warm-up
+        t0 = time.perf_counter()
+        for _ in range(GATE_CYCLES):
+            one_cycle()
+        us = 1e6 * (time.perf_counter() - t0) / GATE_CYCLES
+        quantities[f"us_per_cycle.{scheme}"] = {"value": us, "unit": "us"}
+        s = allocator.stats
+        counters[f"attempts.{scheme}"] = s.attempts
+        counters[f"backtrack_steps.{scheme}"] = s.backtrack_steps
+    return make_bench_result(
+        "allocator_micro", quantities, counters,
+        repetitions=GATE_CYCLES, env=environment(scale),
+    )
 
 
 @pytest.mark.parametrize("scheme", ["baseline", "jigsaw", "laas", "ta", "lc+s"])
@@ -72,7 +110,7 @@ def bench_jigsaw_by_cluster_size(benchmark, radix):
     print(f"\n[jigsaw r{radix}] search effort: {_counters(allocator)}")
 
 
-def bench_allocator_micro_summary(save_result):
+def bench_allocator_micro_summary(save_result, save_bench):
     """Indexed vs naive per-cycle cost, with the search-effort counters.
 
     Times one allocate/release cycle with ``perf_counter`` (the
@@ -131,3 +169,4 @@ def bench_allocator_micro_summary(save_result):
                 f"({speedup:4.1f}x)  [{counters}]"
             )
     save_result("allocator_micro", "\n".join(lines))
+    save_bench(bench_payload())

@@ -32,6 +32,7 @@ import time
 from repro.core.registry import make_allocator
 from repro.experiments.grid import run_grid, setup_for, sim_cell
 from repro.experiments.report import render_table
+from repro.obs.bench import GATE_SCALE, environment, make_bench_result
 from repro.topology.fattree import FatTree
 
 TRACE = "Synth-28"
@@ -212,7 +213,36 @@ def render(rows, rss, micro, smoke):
     return "\n\n".join((main, rss_tbl, micro_tbl, smoke_tbl))
 
 
-def bench_event_core(benchmark, save_result, scale):
+def bench_payload(scale: float = GATE_SCALE, seed: int = 0) -> dict:
+    """The ``BENCH_event_core.json`` document: columnar vs scalar event
+    drain on the gate slice (Synth-28 under jigsaw, batch step 300s)."""
+    setup_for(TRACE, scale=scale, seed=seed)
+    col_out, sca_out = run_grid([
+        sim_cell(trace=TRACE, scheme=SMOKE_SCHEME, scale=scale, seed=seed,
+                 step_interval=STEP),
+        sim_cell(trace=TRACE, scheme=SMOKE_SCHEME, scale=scale, seed=seed,
+                 step_interval=STEP, use_columnar_events=False),
+    ])
+    col, sca = col_out.value, sca_out.value
+    jobs = len(col.jobs) or 1
+    quantities = {
+        "columnar_ms_per_job": {
+            "value": col_out.wall_seconds * 1e3 / jobs, "unit": "ms"},
+        "scalar_ms_per_job": {
+            "value": sca_out.wall_seconds * 1e3 / jobs, "unit": "ms"},
+    }
+    counters = {
+        "alloc_attempts": col.alloc_attempts,
+        "scheduling_rounds": col.scheduling_rounds,
+        "jobs": jobs,
+        "unscheduled": len(col.unscheduled),
+    }
+    return make_bench_result(
+        "event_core", quantities, counters, env=environment(scale),
+    )
+
+
+def bench_event_core(benchmark, save_result, save_bench, scale):
     rows, rss, micro, smoke = benchmark.pedantic(
         lambda: event_core_suite(scale=scale), rounds=1, iterations=1
     )
@@ -238,3 +268,5 @@ def bench_event_core(benchmark, save_result, scale):
 
     # Radix-36 smoke: the 11664-node preset drains its queue.
     assert not smoke["_result"].unscheduled, smoke["_result"].unscheduled
+
+    save_bench(bench_payload())

@@ -21,6 +21,7 @@ is pure overhead (baseline, ~0.85x) or a wash (ta, ~1.0x).
 
 from repro.experiments.grid import run_grid, setup_for, sim_cell
 from repro.experiments.report import render_table
+from repro.obs.bench import GATE_SCALE, environment, make_bench_result
 
 TRACE = "Synth-28"
 SCALE_TRACE = "Synth-32"
@@ -132,7 +133,38 @@ def render(rows, smoke):
     return main + "\n\n" + smoke_tbl
 
 
-def bench_pass_scale(benchmark, save_result, scale):
+def bench_payload(scale: float = GATE_SCALE, seed: int = 0) -> dict:
+    """The ``BENCH_pass_scale.json`` document: vector vs scalar pass on
+    the gate slice (Synth-28 under jigsaw), wall time tolerant and the
+    prefilter work proxies exact."""
+    setup_for(TRACE, scale=scale, seed=seed)
+    vec_out, sca_out = run_grid([
+        sim_cell(trace=TRACE, scheme=SMOKE_SCHEME, scale=scale, seed=seed),
+        sim_cell(trace=TRACE, scheme=SMOKE_SCHEME, scale=scale, seed=seed,
+                 use_vector_pass=False),
+    ])
+    vec, sca = vec_out.value, sca_out.value
+    jobs = len(vec.jobs) or 1
+    quantities = {
+        "vector_ms_per_job": {
+            "value": vec_out.wall_seconds * 1e3 / jobs, "unit": "ms"},
+        "scalar_ms_per_job": {
+            "value": sca_out.wall_seconds * 1e3 / jobs, "unit": "ms"},
+    }
+    counters = {
+        "alloc_attempts": vec.alloc_attempts,
+        "queue_prefiltered": vec.queue_prefiltered,
+        "size_cut_skips": vec.size_cut_skips,
+        "pass_vector_rounds": vec.pass_vector_rounds,
+        "jobs": jobs,
+        "unscheduled": len(vec.unscheduled),
+    }
+    return make_bench_result(
+        "pass_scale", quantities, counters, env=environment(scale),
+    )
+
+
+def bench_pass_scale(benchmark, save_result, save_bench, scale):
     rows, smoke = benchmark.pedantic(
         lambda: pass_scale_suite(scale=scale), rounds=1, iterations=1
     )
@@ -168,3 +200,5 @@ def bench_pass_scale(benchmark, save_result, scale):
     result = smoke["_result"]
     assert not result.unscheduled, result.unscheduled
     assert result.pass_vector_rounds == result.scheduling_rounds
+
+    save_bench(bench_payload())

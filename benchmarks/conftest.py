@@ -27,6 +27,25 @@ def save_result():
 
 
 @pytest.fixture(scope="session")
+def save_bench():
+    """Persist a machine-readable ``BENCH_<name>.json`` document.
+
+    Gated benches produce these at the pinned gate scale (see
+    :mod:`repro.obs.bench`); ``benchmarks/_perf_gate.py`` compares the
+    committed copies against fresh runs in CI.
+    """
+    from repro.obs.bench import write_bench_json
+
+    def _save(doc: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{doc['name']}.json"
+        write_bench_json(doc, path)
+        print(f"[saved to benchmarks/results/{path.name}]")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
 def scale():
     """Job-count scale: None = bench defaults, REPRO_SCALE/FULL overrides."""
     from repro.experiments.runner import default_scale

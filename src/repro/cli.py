@@ -133,6 +133,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="drain events one at a time instead of in "
                    "columnar batches (identical decisions; for "
                    "invariance checks and timing comparisons)")
+    p.add_argument("--prof-out", default=None, metavar="FILE",
+                   help="profile the allocator hot path and write the "
+                   "stage snapshot as JSON")
+    p.add_argument("--prof-stacks", default=None, metavar="FILE",
+                   help="profile and write collapsed stacks "
+                   "(flamegraph.pl / speedscope input)")
+    p.add_argument("--provenance-out", default=None, metavar="FILE",
+                   help="record per-job scheduling provenance and write "
+                   "it as JSONL (.csv extension selects CSV)")
 
     p = sub.add_parser(
         "resilience",
@@ -157,6 +166,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-span rollup of a trace file (Chrome JSON or JSONL)",
     )
     ps.add_argument("trace_file")
+
+    p = sub.add_parser(
+        "prof",
+        help="stage-level wall-time attribution of the allocator hot path",
+    )
+    _add_common(p)
+    p.add_argument("--trace", default="Synth-28", choices=ALL_TRACE_NAMES)
+    p.add_argument("--scheme", default="jigsaw",
+                   choices=["baseline", "jigsaw", "laas", "ta", "lc+s", "lc"])
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the stage snapshot as JSON")
+    p.add_argument("--stacks", default=None, metavar="FILE",
+                   help="also write collapsed stacks (flamegraph input)")
 
     p = sub.add_parser(
         "frag",
@@ -249,6 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sample_interval = args.sample_interval
         if args.samples_out and sample_interval is None:
             sample_interval = 3600.0
+        profiled = bool(args.prof_out or args.prof_stacks)
         setup = paper_setup(args.trace, scale=scale, seed=args.seed,
                             topology=args.topology)
         result = run_scheme(setup, args.scheme, scenario=args.scenario,
@@ -262,7 +285,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             checkpoint_interval=args.checkpoint_interval,
                             step_interval=args.step_interval,
                             use_vector_pass=not args.naive_pass,
-                            use_columnar_events=not args.naive_events)
+                            use_columnar_events=not args.naive_events,
+                            profiled=profiled,
+                            provenance=bool(args.provenance_out))
         print(result.summary())
         if result.step_interval is not None:
             print(f"batch-step: {result.scheduling_rounds} rounds at "
@@ -299,6 +324,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             tracer.write_jsonl(args.trace_jsonl)
             print(f"trace JSONL: {len(tracer.events)} events -> "
                   f"{args.trace_jsonl}")
+        if tracer is not None and tracer.dropped:
+            print(f"WARNING: {tracer.dropped} trace events dropped "
+                  f"(max_events={tracer.max_events} reached); exported "
+                  "traces undercount the run", file=sys.stderr)
+        if profiled:
+            if args.prof_out:
+                import json as _json
+
+                with open(args.prof_out, "w", encoding="utf-8") as fh:
+                    _json.dump(result.prof, fh, indent=2)
+                print(f"profile: {len(result.prof['stages'])} stages -> "
+                      f"{args.prof_out}")
+            if args.prof_stacks:
+                from repro.obs.prof import snapshot_collapsed
+
+                with open(args.prof_stacks, "w", encoding="utf-8") as fh:
+                    fh.write(snapshot_collapsed(result.prof))
+                print(f"collapsed stacks -> {args.prof_stacks}")
+        if args.provenance_out:
+            from repro.sched.metrics import (
+                write_provenance_csv,
+                write_provenance_jsonl,
+            )
+
+            if args.provenance_out.endswith(".csv"):
+                write_provenance_csv(result.provenance, args.provenance_out)
+            else:
+                write_provenance_jsonl(result.provenance, args.provenance_out)
+            print(f"provenance: {len(result.provenance)} jobs -> "
+                  f"{args.provenance_out}")
+            wq = result.wait_quantiles()
+            print("scheduling latency (wait): "
+                  + "  ".join(f"p{int(q * 100)}={wq[q]:.0f}s"
+                              for q in sorted(wq)))
         if registry is not None:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(registry.export_prometheus_text())
@@ -328,9 +387,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(figresilience.render(rows))
     elif args.command == "obs":
-        from repro.obs.tracer import load_trace_events, summarize_trace
+        from repro.obs.tracer import (
+            load_trace_events,
+            read_dropped_count,
+            summarize_trace,
+        )
 
-        print(summarize_trace(load_trace_events(args.trace_file)))
+        print(summarize_trace(load_trace_events(args.trace_file),
+                              dropped=read_dropped_count(args.trace_file)))
+    elif args.command == "prof":
+        return _prof_command(args, scale)
     elif args.command == "frag":
         _frag_command(args)
     elif args.command == "contention":
@@ -359,6 +425,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  seed=args.seed))
         print(f"(total simulated wall time: "
               f"{campaign.total_wall_seconds:.0f}s; results in {args.out})")
+    return 0
+
+
+def _prof_command(args, scale) -> int:
+    """Run one profiled+traced simulation and print the stage
+    attribution table, with coverage against the ``alloc.search`` span
+    total (how much of the measured search time the stages explain)."""
+    from repro.obs.prof import (
+        render_attribution,
+        snapshot_collapsed,
+        top_level_seconds,
+    )
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer(enabled=True)
+    setup = paper_setup(args.trace, scale=scale, seed=args.seed)
+    result = run_scheme(setup, args.scheme, seed=args.seed,
+                        tracer=tracer, profiled=True)
+    snap = result.prof
+    print(f"{args.scheme} on {args.trace}: "
+          f"{result.alloc_attempts} allocation attempts, "
+          f"{result.sched_seconds * 1e3:.1f} ms in the allocator\n")
+    print(render_attribution(snap))
+    search_wall = sum(
+        e.get("dur", 0.0) for e in tracer.events
+        if e.get("name") == "alloc.search" and not e.get("instant")
+    )
+    stage_search = sum(
+        s["total_s"] for s in snap["stages"]
+        if s["stack"] == "search"
+    )
+    if search_wall > 0:
+        coverage = 100.0 * stage_search / search_wall
+        print(f"\nattribution coverage: stage 'search' explains "
+              f"{coverage:.1f}% of the alloc.search span total "
+              f"({stage_search * 1e3:.1f} of {search_wall * 1e3:.1f} ms)")
+    print(f"profiler account of the hot path: "
+          f"{top_level_seconds(snap) * 1e3:.1f} ms "
+          "(search + claim + release stages)")
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(snap, fh, indent=2)
+        print(f"snapshot -> {args.out}")
+    if args.stacks:
+        with open(args.stacks, "w", encoding="utf-8") as fh:
+            fh.write(snapshot_collapsed(snap))
+        print(f"collapsed stacks -> {args.stacks}")
     return 0
 
 

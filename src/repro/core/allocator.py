@@ -29,6 +29,7 @@ from typing import (
 import numpy as np
 
 from repro.core.shapes import ThreeLevelShape, TwoLevelShape
+from repro.obs.prof import get_profiler
 from repro.obs.tracer import get_tracer
 from repro.topology.fattree import LinkId, SpineLinkId, XGFT
 from repro.topology.state import ClusterState
@@ -169,6 +170,11 @@ class Allocator(ABC):
         #: is passive — a disabled tracer costs one attribute check per
         #: allocate() and an enabled one never changes a decision.
         self.tracer = get_tracer()
+        #: stage profiler for the search internals (the process-global,
+        #: disabled profiler by default; ``run_scheme(profiled=True)``
+        #: installs an enabled one).  Same contract as the tracer:
+        #: passive, and one attribute check per site when disabled.
+        self.prof = get_profiler()
         self.allocations: Dict[int, Allocation] = {}
         # Allocation-feasibility cache.  A key is (effective size,
         # bw_need); a key is present iff a search with that key failed
@@ -225,13 +231,31 @@ class Allocator(ABC):
         else:
             self.stats.cache_misses += 1
             if size <= self.state.free_nodes_total:
-                alloc = self._search(job_id, size, bw_need)
+                prof = self.prof
+                if prof.enabled:
+                    prof.scheme = self.name
+                    pt = prof.push("search")
+                    try:
+                        alloc = self._search(job_id, size, bw_need)
+                    finally:
+                        prof.pop(pt)
+                else:
+                    alloc = self._search(job_id, size, bw_need)
             if alloc is None and self._failure_is_durable():
                 self._failed_keys.add(key)
                 self._note_durable_failure(key)
             outcome = "placed" if alloc is not None else "failed"
         if alloc is not None:
-            self._claim(alloc, bw_need)
+            prof = self.prof
+            if prof.enabled:
+                prof.scheme = self.name
+                pt = prof.push("claim")
+                try:
+                    self._claim(alloc, bw_need)
+                finally:
+                    prof.pop(pt)
+            else:
+                self._claim(alloc, bw_need)
             self.allocations[job_id] = alloc
             if isinstance(alloc.shape, ThreeLevelShape):
                 self.stats.three_level += 1
@@ -287,7 +311,16 @@ class Allocator(ABC):
         if job_id not in self.allocations:
             raise ValueError(f"job {job_id} is not allocated")
         del self.allocations[job_id]
-        self._release(job_id)
+        prof = self.prof
+        if prof.enabled:
+            prof.scheme = self.name
+            pt = prof.push("release")
+            try:
+                self._release(job_id)
+            finally:
+                prof.pop(pt)
+        else:
+            self._release(job_id)
         self.invalidate_feasibility_cache()
         self.stats.releases += 1
         self.stats.alloc_seconds += time.perf_counter() - t0
@@ -313,7 +346,16 @@ class Allocator(ABC):
                 raise ValueError(f"job {job_id} is not allocated")
         for job_id in ids:
             del self.allocations[job_id]
-        self._release_many(ids)
+        prof = self.prof
+        if prof.enabled:
+            prof.scheme = self.name
+            pt = prof.push("release")
+            try:
+                self._release_many(ids)
+            finally:
+                prof.pop(pt)
+        else:
+            self._release_many(ids)
         self.invalidate_feasibility_cache()
         self.stats.releases += len(ids)
         self.stats.alloc_seconds += time.perf_counter() - t0

@@ -205,10 +205,18 @@ class LeastConstrainedAllocator(JigsawAllocator):
         if hit is not None:
             sols, cost = hit
             self.stats.memo_hits += 1
-            self._charge(cost)
+            if self.prof.enabled:
+                with self.prof.stage("memo_replay"):
+                    self._charge(cost)
+            else:
+                self._charge(cost)
             return sols
         before = self._steps_left
-        sols = self._find_all_in_pod_uncached(pod, LT, nL, nrL)
+        if self.prof.enabled:
+            with self.prof.stage("pod_enum"):
+                sols = self._find_all_in_pod_uncached(pod, LT, nL, nrL)
+        else:
+            sols = self._find_all_in_pod_uncached(pod, LT, nL, nrL)
         self._pod_memo[key] = (sols, before - self._steps_left)
         return sols
 

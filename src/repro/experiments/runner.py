@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.registry import make_allocator
+from repro.obs.prof import StageProfiler
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.tracer import Tracer
 from repro.sched.metrics import SimResult
@@ -172,6 +173,9 @@ def run_scheme(
     step_interval: Optional[float] = None,
     use_vector_pass: bool = True,
     use_columnar_events: bool = True,
+    profiler=None,
+    profiled: bool = False,
+    provenance: bool = False,
     **allocator_kwargs,
 ) -> SimResult:
     """Simulate ``setup``'s trace under one scheme (and speed-up scenario).
@@ -217,9 +221,19 @@ def run_scheme(
     * ``event_log`` — a :class:`~repro.sched.log.ScheduleLog`.
     * ``metrics`` — a :class:`~repro.obs.metrics.MetricRegistry` to
       populate with live views of the run's counters.
+    * ``profiler``/``profiled`` — a :class:`~repro.obs.prof.StageProfiler`
+      installed on the allocator for the run (``profiled=True`` creates
+      an enabled one, the picklable spelling); its snapshot lands in
+      ``SimResult.prof``.
+    * ``provenance=True`` — record per-job scheduling provenance into
+      ``SimResult.provenance`` (see :mod:`repro.sched.metrics`).
     """
     apply_scenario(setup.trace.jobs, scenario or "none", seed=seed)
     allocator = make_allocator(scheme, setup.tree, **allocator_kwargs)
+    if profiler is None and profiled:
+        profiler = StageProfiler(enabled=True)
+    if profiler is not None:
+        allocator.prof = profiler
     if tracer is None and traced:
         tracer = Tracer(enabled=True)
     if sampler is None and sample_interval is not None:
@@ -255,8 +269,11 @@ def run_scheme(
         step_interval=step_interval,
         use_vector_pass=use_vector_pass,
         use_columnar_events=use_columnar_events,
+        provenance=provenance,
     )
     result = sim.run(setup.trace)
+    if profiler is not None:
+        result.prof = profiler.snapshot()
     if metrics is not None:
         from repro.obs.bridge import simulation_registry
 

@@ -24,10 +24,26 @@ telemetry-free run (``benchmarks/_fingerprint.py --obs`` enforces it):
   utilization / queue-depth / fragmentation rows to JSONL, merged
   deterministically in cell order by the experiment-grid engine.
 
-See ``docs/observability.md`` for the span taxonomy and the metric name
-catalog.
+Two further pillars ride the same passivity contract:
+
+* :mod:`repro.obs.prof` — a **hierarchical stage profiler** for the
+  allocator hot path (``repro prof`` renders the attribution table,
+  ``--prof-stacks`` exports collapsed stacks for flamegraphs).
+* :mod:`repro.obs.bench` — the **machine-readable benchmark schema**
+  (``BENCH_<name>.json``) and comparator behind the CI perf gate
+  (``benchmarks/_perf_gate.py``).
+
+See ``docs/observability.md`` for the span taxonomy, the profiler stage
+catalog, the provenance column catalog and the metric name catalog.
 """
 
+from repro.obs.bench import (
+    GATE_SCALE,
+    compare_bench,
+    load_bench_json,
+    make_bench_result,
+    write_bench_json,
+)
 from repro.obs.bridge import (
     registry_for_log,
     registry_for_result,
@@ -35,6 +51,14 @@ from repro.obs.bridge import (
     simulation_registry,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.prof import (
+    StageProfiler,
+    get_profiler,
+    merge_snapshots,
+    render_attribution,
+    set_profiler,
+    top_level_seconds,
+)
 from repro.obs.sampler import TimeSeriesSampler, merge_streams, write_jsonl
 from repro.obs.tracer import (
     Span,
@@ -46,19 +70,30 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "GATE_SCALE",
     "Gauge",
     "Histogram",
     "MetricRegistry",
     "Span",
+    "StageProfiler",
     "TimeSeriesSampler",
     "Tracer",
+    "compare_bench",
+    "get_profiler",
     "get_tracer",
+    "load_bench_json",
+    "make_bench_result",
+    "merge_snapshots",
     "merge_streams",
     "registry_for_log",
     "registry_for_result",
     "registry_for_stats",
+    "render_attribution",
+    "set_profiler",
     "set_tracer",
     "simulation_registry",
     "summarize_trace",
+    "top_level_seconds",
+    "write_bench_json",
     "write_jsonl",
 ]

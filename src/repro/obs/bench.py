@@ -1,0 +1,185 @@
+"""Machine-readable benchmark results and the perf-regression gate.
+
+Every benchmark that participates in CI gating emits one
+``BENCH_<name>.json`` document with a fixed schema (``repro.bench/v1``):
+
+* ``quantities`` — measured values with units.  Wall-clock quantities
+  are noisy (CI machines differ); the gate compares them with a wide
+  one-sided tolerance.
+* ``counters`` — deterministic work proxies (allocation attempts,
+  backtrack steps, scheduled jobs...).  These are exact integers that
+  must not change unless the algorithm changed, so the gate compares
+  them with strict equality — a silent behavioral regression fails CI
+  even when the machine is fast enough to hide it in wall time.
+* ``environment`` — interpreter/platform/scale capture, so a baseline
+  produced at one scale is never compared against a run at another.
+
+``benchmarks/_perf_gate.py`` produces the documents at a pinned smoke
+scale (:data:`GATE_SCALE`) and compares them against the committed
+baselines under ``benchmarks/results/``; the schema itself is validated
+by ``benchmarks/_check_obs_schema.py --bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Any, Dict, Mapping, Optional
+
+SCHEMA = "repro.bench/v1"
+
+#: the pinned trace scale every gated BENCH document is produced at —
+#: baselines committed to the repo never churn scale, and the gate
+#: refuses to compare documents captured at different scales.
+GATE_SCALE = 0.02
+
+#: default one-sided wall-time tolerance: current may exceed baseline by
+#: this factor before the gate fails (CI machines are slow and shared,
+#: so the gate is a catastrophic-regression detector, not a profiler).
+WALL_TOLERANCE = 3.0
+
+
+def environment(scale: Optional[float] = None) -> Dict[str, Any]:
+    """Capture the measurement environment for a BENCH document."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "scale": scale,
+    }
+
+
+def make_bench_result(
+    name: str,
+    quantities: Mapping[str, Mapping[str, Any]],
+    counters: Mapping[str, int],
+    repetitions: int = 1,
+    env: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one schema-conforming BENCH document.
+
+    ``quantities`` maps label -> ``{"value": float, "unit": str}``;
+    ``counters`` maps label -> int.  Validation here is deliberately
+    strict so a malformed document fails at the producer, not in CI.
+    """
+    quantities = {k: dict(v) for k, v in quantities.items()}
+    for label, q in quantities.items():
+        if set(q) != {"value", "unit"}:
+            raise ValueError(
+                f"quantity {label!r} must have exactly value/unit keys"
+            )
+        q["value"] = float(q["value"])
+        if not isinstance(q["unit"], str):
+            raise ValueError(f"quantity {label!r} unit must be a string")
+    clean_counters = {}
+    for label, v in counters.items():
+        if isinstance(v, bool) or not isinstance(v, (int,)):
+            raise ValueError(f"counter {label!r} must be an int, got {v!r}")
+        clean_counters[label] = int(v)
+    return {
+        "schema": SCHEMA,
+        "name": str(name),
+        "repetitions": int(repetitions),
+        "quantities": quantities,
+        "counters": clean_counters,
+        "environment": dict(env if env is not None else environment()),
+    }
+
+
+def write_bench_json(doc: Mapping[str, Any], path) -> None:
+    """Write a BENCH document (sorted keys: diffs stay reviewable)."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench_json(path) -> Dict[str, Any]:
+    """Load and minimally validate a BENCH document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    return doc
+
+
+def compare_bench(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    wall_tolerance: float = WALL_TOLERANCE,
+) -> Dict[str, Any]:
+    """Compare a current BENCH document against its committed baseline.
+
+    Returns ``{"ok": bool, "failures": [...], "notes": [...]}``.
+
+    * Counters must match **exactly** — but only when both documents
+      were captured at the same environment scale; a scale mismatch is
+      itself a failure (the comparison would be meaningless).
+    * Wall-time quantities (unit ``s`` or ``ms``) fail one-sided when
+      ``current > baseline * (1 + wall_tolerance)``.  Getting faster
+      never fails; it is reported as a note so baselines get refreshed.
+    * Non-time quantities (unit anything else) are compared exactly.
+    """
+    failures = []
+    notes = []
+    b_scale = baseline.get("environment", {}).get("scale")
+    c_scale = current.get("environment", {}).get("scale")
+    if b_scale != c_scale:
+        failures.append(
+            f"environment scale mismatch: baseline {b_scale} vs "
+            f"current {c_scale} (counters are scale-dependent)"
+        )
+        return {"ok": False, "failures": failures, "notes": notes}
+
+    b_counters = baseline.get("counters", {})
+    c_counters = current.get("counters", {})
+    for label in sorted(set(b_counters) | set(c_counters)):
+        if label not in c_counters:
+            failures.append(f"counter {label!r} missing from current run")
+        elif label not in b_counters:
+            notes.append(f"counter {label!r} is new (no baseline)")
+        elif b_counters[label] != c_counters[label]:
+            failures.append(
+                f"counter {label!r}: baseline {b_counters[label]} != "
+                f"current {c_counters[label]} (deterministic work proxy "
+                "changed — a behavioral regression, not noise)"
+            )
+
+    b_q = baseline.get("quantities", {})
+    c_q = current.get("quantities", {})
+    for label in sorted(set(b_q) & set(c_q)):
+        bq, cq = b_q[label], c_q[label]
+        if bq["unit"] != cq["unit"]:
+            failures.append(
+                f"quantity {label!r}: unit changed "
+                f"{bq['unit']!r} -> {cq['unit']!r}"
+            )
+            continue
+        if bq["unit"] in ("s", "ms", "us"):
+            limit = bq["value"] * (1.0 + wall_tolerance)
+            if cq["value"] > limit:
+                failures.append(
+                    f"quantity {label!r}: {cq['value']:.6g}{cq['unit']} "
+                    f"exceeds baseline {bq['value']:.6g}{bq['unit']} "
+                    f"by more than {wall_tolerance:.0%}"
+                )
+            elif cq["value"] < bq["value"] * 0.5:
+                notes.append(
+                    f"quantity {label!r} improved >2x "
+                    f"({bq['value']:.6g} -> {cq['value']:.6g}{cq['unit']}); "
+                    "consider refreshing the baseline"
+                )
+        elif bq["value"] != cq["value"]:
+            failures.append(
+                f"quantity {label!r}: baseline {bq['value']!r} != "
+                f"current {cq['value']!r}"
+            )
+    for label in sorted(set(b_q) - set(c_q)):
+        failures.append(f"quantity {label!r} missing from current run")
+    return {"ok": not failures, "failures": failures, "notes": notes}

@@ -173,6 +173,13 @@ def registry_for_result(
             _bin_getter(result, bin_label),
             labels={**labels, "bin": bin_label},
         )
+    for q in (0.5, 0.95, 0.99):
+        registry.bind(
+            "repro_sched_wait_seconds",
+            "per-job scheduling latency (wait) quantiles, nearest-rank",
+            _wait_quantile_getter(result, q), kind="gauge",
+            labels={**labels, "quantile": f"{q:g}"},
+        )
     return registry
 
 
@@ -248,6 +255,10 @@ def _getter(obj, field):
 
 def _bin_getter(result, bin_label):
     return lambda r=result, b=bin_label: r.instant.counts[b]
+
+
+def _wait_quantile_getter(result, q):
+    return lambda r=result, q=q: r.wait_quantiles((q,))[q]
 
 
 def _kind_getter(log, event_kind):

@@ -1,0 +1,283 @@
+"""Hierarchical stage profiler for the allocator hot path.
+
+Where :mod:`repro.obs.tracer` answers *which call* took the time (one
+span per ``allocate``), the stage profiler answers *which part of the
+search*: the instrumented allocators mark the internal stages of
+``_search`` — pod prefilter, per-pod shape fit, memo replay, the
+two-level/three-level phases, the final claim — and the profiler
+accumulates wall time, call counts and a log-bucketed duration
+histogram per ``(scheme, stage stack)``.
+
+The contracts mirror the tracer's:
+
+* **Free when disabled.**  Hot sites guard with a single
+  ``prof.enabled`` attribute check (hoisted to a local where a site
+  sits inside a loop); no frame object is built when profiling is off.
+  The disabled-mode budget is the same 2% bound
+  ``benchmarks/_bench_obs_overhead.py`` enforces for the tracer.
+* **Strictly passive.**  Profiling never influences a decision;
+  ``benchmarks/_fingerprint.py --prof`` replays every scheme with the
+  profiler (and provenance) off and on and asserts byte-identical
+  fingerprints.
+
+Frames nest: ``push`` opens a stage, ``pop`` closes it and charges the
+duration to the full stack path (``"search;two_level;pod_fit"``), with
+*self time* (duration minus enclosed child stages) tracked separately
+so a flamegraph built from :meth:`StageProfiler.to_collapsed` sums
+correctly.  Exports: collapsed-stack lines (feed them to any FlameGraph
+renderer), JSON, and the attribution table behind the ``repro prof``
+CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
+
+#: duration histogram buckets: bucket ``i`` counts durations in
+#: ``[2**(i-1), 2**i)`` microseconds (bucket 0 is "< 1 µs"); the last
+#: bucket is open-ended (~134 s and beyond)
+HIST_BUCKETS = 28
+
+
+class StageProfiler:
+    """Accumulates per-scheme, per-stage-stack timing; disabled by default.
+
+    The aggregate is a dict keyed by ``(scheme, "a;b;c")`` holding
+    ``[count, total_seconds, self_seconds, histogram]`` — everything a
+    plain int/float/list, so :meth:`snapshot` is picklable and rides on
+    ``SimResult.prof`` through the grid engine's process pool.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        #: scheme label stamped on frames; the base ``Allocator.allocate``
+        #: sets it (inside its enabled guard) before opening ``search``
+        self.scheme = ""
+        self._stack: List[str] = []
+        #: per-open-frame accumulator of enclosed child durations
+        self._child: List[float] = []
+        self._agg: Dict[Tuple[str, str], list] = {}
+
+    # -- recording ------------------------------------------------------
+    def push(self, stage: str) -> float:
+        """Open a stage frame; returns the t0 to hand back to :meth:`pop`.
+
+        Hot sites must guard with ``if prof.enabled:`` — a disabled
+        profiler costs exactly one attribute (or hoisted-local) check.
+        """
+        self._stack.append(stage)
+        self._child.append(0.0)
+        return perf_counter()
+
+    def pop(self, t0: float) -> None:
+        """Close the innermost frame and charge it to the stack path."""
+        dur = perf_counter() - t0
+        stack = self._stack
+        path = ";".join(stack)
+        stack.pop()
+        child = self._child.pop()
+        if self._child:
+            self._child[-1] += dur
+        key = (self.scheme, path)
+        rec = self._agg.get(key)
+        if rec is None:
+            rec = self._agg[key] = [0, 0.0, 0.0, [0] * HIST_BUCKETS]
+        rec[0] += 1
+        rec[1] += dur
+        self_s = dur - child
+        rec[2] += self_s if self_s > 0.0 else 0.0
+        b = int(dur * 1e6).bit_length()
+        rec[3][b if b < HIST_BUCKETS else HIST_BUCKETS - 1] += 1
+
+    def stage(self, name: str) -> "_StageCtx":
+        """Context-manager frame (exception-safe form for stages a
+        budget abort may unwind through)."""
+        return _StageCtx(self, name)
+
+    def clear(self) -> None:
+        self._agg.clear()
+        self._stack.clear()
+        self._child.clear()
+
+    # -- views ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict aggregate (picklable; ``SimResult.prof``)."""
+        stages = [
+            {
+                "scheme": scheme,
+                "stack": path,
+                "count": rec[0],
+                "total_s": rec[1],
+                "self_s": rec[2],
+                "hist_log2us": list(rec[3]),
+            }
+            for (scheme, path), rec in sorted(
+                self._agg.items(), key=lambda kv: (kv[0][0], -kv[1][1])
+            )
+        ]
+        return {"stages": stages}
+
+    def to_collapsed(self) -> str:
+        """Collapsed-stack lines (``scheme;stage;... self_us``) — the
+        flamegraph input format; self time so the frames sum exactly."""
+        lines = []
+        for (scheme, path), rec in sorted(self._agg.items()):
+            us = int(round(rec[2] * 1e6))
+            lines.append(f"{scheme};{path} {us}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- export ---------------------------------------------------------
+    def write_json(self, target: Union[str, Path, TextIO]) -> None:
+        """Write :meth:`snapshot` (plus environment capture) as JSON."""
+        doc = self.snapshot()
+        doc["environment"] = {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+        }
+        if isinstance(target, (str, Path)):
+            with open(target, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            return
+        json.dump(doc, target, indent=2, sort_keys=True)
+
+    def write_collapsed(self, target: Union[str, Path, TextIO]) -> None:
+        """Write :meth:`to_collapsed` (flamegraph-compatible)."""
+        text = self.to_collapsed()
+        if isinstance(target, (str, Path)):
+            Path(target).write_text(text, encoding="utf-8")
+            return
+        target.write(text)
+
+
+class _StageCtx:
+    """Context manager driving one frame on an enabled profiler."""
+
+    __slots__ = ("_prof", "_name", "_t0")
+
+    def __init__(self, prof: StageProfiler, name: str):
+        self._prof = prof
+        self._name = name
+
+    def __enter__(self) -> "_StageCtx":
+        self._t0 = self._prof.push(self._name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._prof.pop(self._t0)
+
+
+# ----------------------------------------------------------------------
+# Snapshot analysis (the ``repro prof`` attribution table)
+# ----------------------------------------------------------------------
+def top_level_seconds(
+    snapshot: Dict[str, Any], scheme: Optional[str] = None
+) -> float:
+    """Wall seconds in top-level stages (no ``;`` in the stack) — the
+    profiler's account of where ``alloc.search`` span time went."""
+    return sum(
+        s["total_s"]
+        for s in snapshot.get("stages", ())
+        if ";" not in s["stack"]
+        and (scheme is None or s["scheme"] == scheme)
+    )
+
+
+def merge_snapshots(snapshots) -> Dict[str, Any]:
+    """Merge per-run snapshots (e.g. one per grid cell) into one."""
+    agg: Dict[Tuple[str, str], list] = {}
+    for snap in snapshots:
+        for s in snap.get("stages", ()):
+            key = (s["scheme"], s["stack"])
+            rec = agg.get(key)
+            if rec is None:
+                rec = agg[key] = [0, 0.0, 0.0, [0] * HIST_BUCKETS]
+            rec[0] += s["count"]
+            rec[1] += s["total_s"]
+            rec[2] += s["self_s"]
+            for i, c in enumerate(s["hist_log2us"]):
+                rec[3][i] += c
+    stages = [
+        {
+            "scheme": scheme, "stack": path, "count": rec[0],
+            "total_s": rec[1], "self_s": rec[2],
+            "hist_log2us": list(rec[3]),
+        }
+        for (scheme, path), rec in sorted(
+            agg.items(), key=lambda kv: (kv[0][0], -kv[1][1])
+        )
+    ]
+    return {"stages": stages}
+
+
+def snapshot_collapsed(snapshot: Dict[str, Any]) -> str:
+    """Collapsed-stack lines from a snapshot dict (same format as
+    :meth:`StageProfiler.to_collapsed`, for post-run exports)."""
+    lines = []
+    for s in sorted(
+        snapshot.get("stages", ()), key=lambda s: (s["scheme"], s["stack"])
+    ):
+        us = int(round(s["self_s"] * 1e6))
+        lines.append(f"{s['scheme']};{s['stack']} {us}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _hist_p95_us(hist: List[int]) -> float:
+    """Upper bound of the bucket holding the 95th-percentile duration."""
+    total = sum(hist)
+    if not total:
+        return 0.0
+    rank = max(1, int(0.95 * total + 0.9999))
+    seen = 0
+    for i, c in enumerate(hist):
+        seen += c
+        if seen >= rank:
+            return float(2 ** i)
+    return float(2 ** (len(hist) - 1))
+
+
+def render_attribution(snapshot: Dict[str, Any]) -> str:
+    """The ``repro prof`` attribution table: one row per (scheme, stage
+    stack), ordered by total time within each scheme."""
+    header = (
+        f"{'scheme':<9} {'stage':<34} {'count':>9} {'total ms':>11} "
+        f"{'self ms':>11} {'mean us':>10} {'p95<=us':>9}"
+    )
+    lines = [header]
+    for s in snapshot.get("stages", ()):
+        count = s["count"]
+        mean_us = s["total_s"] / count * 1e6 if count else 0.0
+        lines.append(
+            f"{s['scheme']:<9} {s['stack']:<34} {count:>9} "
+            f"{s['total_s'] * 1e3:>11.3f} {s['self_s'] * 1e3:>11.3f} "
+            f"{mean_us:>10.1f} {_hist_p95_us(s['hist_log2us']):>9.0f}"
+        )
+    if len(lines) == 1:
+        lines.append("(no stages recorded)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The process-global profiler (disabled unless someone enables it)
+# ----------------------------------------------------------------------
+_ACTIVE = StageProfiler(enabled=False)
+
+
+def get_profiler() -> StageProfiler:
+    """The process-global stage profiler; allocators pick it up at
+    construction (``Allocator.__init__``), disabled by default."""
+    return _ACTIVE
+
+
+def set_profiler(prof: StageProfiler) -> StageProfiler:
+    """Install ``prof`` as the process-global one; returns the previous
+    profiler so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = prof
+    return previous

@@ -29,6 +29,7 @@ terminal report (the ``obs summarize`` CLI subcommand).
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
@@ -308,10 +309,43 @@ def load_trace_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
     return [json.loads(line) for line in text.splitlines() if line.strip()]
 
 
-def summarize_trace(events: Iterable[Dict[str, Any]]) -> str:
-    """Per-span-name rollup of a trace: count, total/mean/max wall time,
-    and the simulated-time range covered."""
-    rollup: Dict[str, Dict[str, float]] = {}
+def read_dropped_count(path: Union[str, Path]) -> int:
+    """The ``dropped_events`` counter of a Chrome trace file (0 when the
+    file is JSONL or predates the counter)."""
+    text = Path(path).read_text(encoding="utf-8").strip()
+    if not text or text[0] != "{":
+        return 0
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return 0
+    if not isinstance(doc, dict):
+        return 0
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        return 0
+    return int(other.get("dropped_events", 0))
+
+
+def _quantile(sorted_vals: List[float], q: float) -> float:
+    """Nearest-rank quantile (ceil(q*n)-th order statistic) of an
+    ascending non-empty list."""
+    n = len(sorted_vals)
+    rank = min(n - 1, max(0, int(math.ceil(q * n)) - 1))
+    return sorted_vals[rank]
+
+
+def summarize_trace(
+    events: Iterable[Dict[str, Any]], dropped: Optional[int] = None
+) -> str:
+    """Per-span-name rollup of a trace: count, total/mean/p50/p95/p99/max
+    wall time, and the simulated-time range covered.
+
+    ``dropped`` is the tracer's ring-buffer overflow counter (from
+    :attr:`Tracer.dropped` or :func:`read_dropped_count`); when positive
+    the report warns that the rollup undercounts.
+    """
+    rollup: Dict[str, List[float]] = {}
     instants: Dict[str, int] = {}
     sim_lo: Optional[float] = None
     sim_hi: Optional[float] = None
@@ -324,21 +358,24 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> str:
         if e.get("instant"):
             instants[name] = instants.get(name, 0) + 1
             continue
-        agg = rollup.setdefault(
-            name, {"count": 0, "total": 0.0, "max": 0.0}
-        )
-        dur = float(e.get("dur", 0.0))
-        agg["count"] += 1
-        agg["total"] += dur
-        agg["max"] = max(agg["max"], dur)
-    lines = ["span                     count    total ms     mean ms      max ms"]
-    for name in sorted(rollup, key=lambda n: -rollup[n]["total"]):
-        agg = rollup[name]
-        mean = agg["total"] / agg["count"] if agg["count"] else 0.0
+        rollup.setdefault(name, []).append(float(e.get("dur", 0.0)))
+    lines = [
+        "span                     count    total ms     mean ms"
+        "      p50 ms      p95 ms      p99 ms      max ms"
+    ]
+    totals = {name: sum(durs) for name, durs in rollup.items()}
+    for name in sorted(rollup, key=lambda n: -totals[n]):
+        durs = sorted(rollup[name])
+        count = len(durs)
+        total = totals[name]
+        mean = total / count if count else 0.0
         lines.append(
-            f"{name:<22} {int(agg['count']):>7} "
-            f"{agg['total'] * 1e3:>11.3f} {mean * 1e3:>11.3f} "
-            f"{agg['max'] * 1e3:>11.3f}"
+            f"{name:<22} {count:>7} "
+            f"{total * 1e3:>11.3f} {mean * 1e3:>11.3f} "
+            f"{_quantile(durs, 0.5) * 1e3:>11.3f} "
+            f"{_quantile(durs, 0.95) * 1e3:>11.3f} "
+            f"{_quantile(durs, 0.99) * 1e3:>11.3f} "
+            f"{durs[-1] * 1e3:>11.3f}"
         )
     if not rollup:
         lines.append("(no spans)")
@@ -347,5 +384,10 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> str:
     if sim_lo is not None:
         lines.append(
             f"simulated time covered: {sim_lo:.0f}s .. {sim_hi:.0f}s"
+        )
+    if dropped:
+        lines.append(
+            f"WARNING: {dropped} events dropped (tracer max_events "
+            "reached) — totals and counts undercount the run"
         )
     return "\n".join(lines)

@@ -68,7 +68,9 @@ class JobTable:
 
     __slots__ = ("jobs", "ids", "sizes", "arrivals", "runtimes",
                  "speedups", "bw_needs", "state", "row_of",
-                 "est_end", "eff_size", "work_frac")
+                 "est_end", "eff_size", "work_frac",
+                 "first_eligible", "attempt_count", "skip_cache",
+                 "skip_cut", "skip_screen", "skip_search", "skip_budget")
 
     def __init__(self, jobs: Sequence):
         self.jobs = list(jobs)
@@ -111,6 +113,20 @@ class JobTable:
         self.est_end = np.zeros(n, np.float64)
         self.eff_size = np.zeros(n, np.int64)
         self.work_frac = np.ones(n, np.float64)
+        # Provenance columns (``Simulator(provenance=True)``): the first
+        # time the scheduler *considered* the job, how many allocation
+        # attempts were charged for it, and that attempt count broken
+        # down by rejection reason (feasibility-cache negative, monotone
+        # size cut, batch-screen reject, failed ``_search``, step-budget
+        # timeout).  Written only when provenance recording is on;
+        # always allocated so the columns are cheap to reason about.
+        self.first_eligible = np.full(n, math.nan, np.float64)
+        self.attempt_count = np.zeros(n, np.int64)
+        self.skip_cache = np.zeros(n, np.int64)
+        self.skip_cut = np.zeros(n, np.int64)
+        self.skip_screen = np.zeros(n, np.int64)
+        self.skip_search = np.zeros(n, np.int64)
+        self.skip_budget = np.zeros(n, np.int64)
 
     def __len__(self) -> int:
         return len(self.jobs)

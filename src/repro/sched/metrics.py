@@ -21,6 +21,9 @@ Table 2.
 
 from __future__ import annotations
 
+import csv
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -179,6 +182,13 @@ class SimResult:
     scheduling_rounds: int = 0
     #: the batch-step Δt the run used (None = event-driven)
     step_interval: Optional[float] = None
+    #: per-job scheduling-provenance rows (plain dicts, picklable);
+    #: populated only when the simulator ran with ``provenance=True`` —
+    #: see :func:`write_provenance_jsonl` for the column catalog
+    provenance: List[Dict[str, Any]] = field(default_factory=list)
+    #: stage-profiler snapshot (see :mod:`repro.obs.prof`); attached by
+    #: the runner when profiling was requested, None otherwise
+    prof: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -208,6 +218,26 @@ class SimResult:
     @property
     def mean_wait(self) -> float:
         return _mean([j.wait for j in self.jobs])
+
+    def wait_quantiles(
+        self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[float, float]:
+        """Nearest-rank quantiles of per-job wait (queueing latency).
+
+        Returns ``{q: seconds}``; NaN values when the run has no jobs.
+        Nearest-rank (ceil(q*n)-th order statistic) so the reported
+        latency is always one a job actually experienced.
+        """
+        waits = sorted(j.wait for j in self.jobs)
+        n = len(waits)
+        out: Dict[float, float] = {}
+        for q in qs:
+            if not n:
+                out[q] = float("nan")
+            else:
+                rank = min(n - 1, max(0, int(math.ceil(q * n)) - 1))
+                out[q] = waits[rank]
+        return out
 
     @property
     def mean_sched_time_per_job(self) -> float:
@@ -298,6 +328,43 @@ class SimResult:
 
 def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else float("nan")
+
+
+#: Column order of the provenance export, fixed so CSV headers and the
+#: schema validator (``benchmarks/_check_obs_schema.py --provenance``)
+#: agree.  Catalog with semantics: ``docs/observability.md``.
+PROVENANCE_COLUMNS = (
+    "job_id", "size", "arrival", "first_eligible", "attempts",
+    "skip_cache", "skip_cut", "skip_screen", "skip_search", "skip_budget",
+    "start", "end", "wait", "state",
+)
+
+
+def write_provenance_jsonl(rows: Sequence[Dict[str, Any]], path) -> None:
+    """Write provenance rows as JSON Lines, one job per line.
+
+    Keys are emitted in :data:`PROVENANCE_COLUMNS` order; unknown keys
+    in a row are an error (the export format is a contract)."""
+    with open(path, "w") as fh:
+        for row in rows:
+            extra = set(row) - set(PROVENANCE_COLUMNS)
+            if extra:
+                raise ValueError(f"unknown provenance columns: {sorted(extra)}")
+            fh.write(json.dumps(
+                {k: row.get(k) for k in PROVENANCE_COLUMNS}
+            ) + "\n")
+
+
+def write_provenance_csv(rows: Sequence[Dict[str, Any]], path) -> None:
+    """Write provenance rows as CSV (``None`` becomes an empty cell)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(PROVENANCE_COLUMNS)
+        for row in rows:
+            writer.writerow(
+                "" if row.get(k) is None else row.get(k)
+                for k in PROVENANCE_COLUMNS
+            )
 
 
 def fidelity_report(event: SimResult, batch: SimResult) -> Dict[str, float]:

@@ -50,6 +50,7 @@ release, so pure-arrival event batches never repeat a lost search.
 from __future__ import annotations
 
 import heapq
+import math
 import os
 from itertools import count
 from typing import Dict, List, Optional, Tuple
@@ -130,6 +131,12 @@ class Simulator:
         attach per-event telemetry (a sampler, an enabled tracer, or an
         event log) always take the scalar drain, which keeps the
         telemetry stream per-event without changing any decision.
+    provenance:
+        ``True`` records per-job scheduling provenance on the job-table
+        columns — first-eligible time, attempt count, and every skipped
+        or failed attempt broken down by reason — exported as
+        ``SimResult.provenance`` (see ``docs/observability.md``).
+        Strictly passive; off by default.
     """
 
     #: how the head's reservation evolves while it waits:
@@ -175,6 +182,7 @@ class Simulator:
         step_interval: Optional[float] = None,
         use_vector_pass: bool = True,
         use_columnar_events: bool = True,
+        provenance: bool = False,
     ):
         if not allocator.state.is_idle():
             raise ValueError("allocator must start idle")
@@ -251,6 +259,12 @@ class Simulator:
         if os.environ.get("REPRO_NAIVE_EVENTS", "") not in ("", "0"):
             use_columnar_events = False
         self.use_columnar_events = bool(use_columnar_events)
+        #: per-job provenance recording (lifecycle timeline plus skip
+        #: reasons on the job-table columns; see
+        #: :meth:`_RunState._provenance_rows`).  Strictly passive — the
+        #: columns are write-only during the run and the recording sites
+        #: never read scheduling state (``_fingerprint.py --prof``).
+        self.provenance = bool(provenance)
         self.low_interference = allocator.low_interference
         #: the head job's current reservation: (job id, Reservation)
         self._sticky: Optional[Tuple[int, Reservation]] = None
@@ -362,6 +376,10 @@ class _RunState:
             and sim.event_log is None
             and not self.tracer.enabled
         )
+        #: per-job provenance recording (pass-level: the recording
+        #: sites are ``try_start``/``dispatch_start``, which both
+        #: drains share, so the columnar gate above is unaffected)
+        self.provenance = sim.provenance
 
         self.instant = InstantHistogram()
         self.busy_area = 0.0
@@ -512,11 +530,76 @@ class _RunState:
             est *= float(self.table.work_frac[job.row])
         return est
 
+    # -- provenance ----------------------------------------------------
+    def prov_attempt(self, job: Job, now: float) -> None:
+        """Record one charged allocation attempt (real or skipped) for
+        ``job`` and stamp the first time the scheduler considered it."""
+        table = self.table
+        row = job.row
+        table.attempt_count[row] += 1
+        if math.isnan(table.first_eligible[row]):
+            table.first_eligible[row] = now
+
+    def _provenance_rows(self) -> List[dict]:
+        """One plain dict per trace job: lifecycle timeline plus the
+        per-reason skip accounting (the ``SimResult.provenance``
+        export; column catalog in ``docs/observability.md``)."""
+        table = self.table
+        names = {
+            JobTable.PENDING: "pending", JobTable.QUEUED: "queued",
+            JobTable.RUNNING: "running", JobTable.DONE: "completed",
+            JobTable.UNSCHEDULED: "unscheduled",
+        }
+        rows = []
+        for i, job in enumerate(table.jobs):
+            fe = float(table.first_eligible[i])
+            started = job.start >= 0
+            rows.append({
+                "job_id": int(table.ids[i]),
+                "size": int(table.sizes[i]),
+                "arrival": float(table.arrivals[i]),
+                "first_eligible": None if math.isnan(fe) else fe,
+                "attempts": int(table.attempt_count[i]),
+                "skip_cache": int(table.skip_cache[i]),
+                "skip_cut": int(table.skip_cut[i]),
+                "skip_screen": int(table.skip_screen[i]),
+                "skip_search": int(table.skip_search[i]),
+                "skip_budget": int(table.skip_budget[i]),
+                "start": job.start if started else None,
+                "end": job.end if started else None,
+                "wait": (job.start - job.arrival) if started else None,
+                "state": names[int(table.state[i])],
+            })
+        return rows
+
     # -- transitions ---------------------------------------------------
     def try_start(self, job: Job, now: float, via: str = "fifo") -> bool:
         sim = self.sim
+        if self.provenance:
+            self.prov_attempt(job, now)
+            # Classify a failure *before* the call: the cache verdict
+            # is consumed inside allocate(), and the budget flag is
+            # only fresh if the search actually ran (a free-node
+            # shortfall skips it, leaving the flag stale).
+            allocator = self.allocator
+            allocator._check_watermark()
+            was_cached = (
+                (allocator.effective_size(job.size), job.bw_need)
+                in allocator._failed_keys
+            )
+            had_room = job.size <= allocator.state.free_nodes_total
         alloc = self.allocator.allocate(job.id, job.size, bw_need=job.bw_need)
         if alloc is None:
+            if self.provenance:
+                table = self.table
+                if was_cached:
+                    table.skip_cache[job.row] += 1
+                elif had_room and getattr(
+                    self.allocator, "_budget_exhausted", False
+                ):
+                    table.skip_budget[job.row] += 1
+                else:
+                    table.skip_search[job.row] += 1
             return False
         tracer = self.tracer
         if tracer.enabled:
@@ -934,12 +1017,21 @@ class _RunState:
         """
         alloc = self.allocator
         if key in alloc._failed_keys:
+            if self.provenance:
+                self.prov_attempt(job, now)
+                self.table.skip_cache[job.row] += 1
             alloc.charge_skip(job.id, job.size, job.bw_need, "cache")
             return False
         if alloc.cut_infeasible(key[0], key[1]):
+            if self.provenance:
+                self.prov_attempt(job, now)
+                self.table.skip_cut[job.row] += 1
             alloc.charge_skip(job.id, job.size, job.bw_need, "cut")
             return False
         if screened:
+            if self.provenance:
+                self.prov_attempt(job, now)
+                self.table.skip_screen[job.row] += 1
             alloc.charge_skip(job.id, job.size, job.bw_need, "screen")
             return False
         return self.try_start(job, now, via=via)
@@ -1545,4 +1637,7 @@ class _RunState:
             ),
             scheduling_rounds=self.rounds,
             step_interval=sim.step_interval,
+            provenance=(
+                self._provenance_rows() if self.provenance else []
+            ),
         )

@@ -1,0 +1,181 @@
+"""BENCH document schema, the comparator, and the gate's self-check."""
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.obs.bench import (
+    GATE_SCALE,
+    SCHEMA,
+    compare_bench,
+    environment,
+    load_bench_json,
+    make_bench_result,
+    write_bench_json,
+)
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "benchmarks"))
+from _check_obs_schema import check_bench  # noqa: E402
+
+
+def doc(**overrides):
+    base = make_bench_result(
+        "unit",
+        {"wall_s": {"value": 1.25, "unit": "s"},
+         "per_job": {"value": 410.0, "unit": "us"},
+         "speedup": {"value": 2.0, "unit": "x"}},
+        {"attempts": 2220, "jobs": 300},
+        repetitions=3,
+        env=environment(GATE_SCALE),
+    )
+    base.update(overrides)
+    return base
+
+
+class TestMakeBenchResult:
+    def test_shape(self):
+        d = doc()
+        assert d["schema"] == SCHEMA
+        assert d["environment"]["scale"] == GATE_SCALE
+        assert d["repetitions"] == 3
+
+    def test_rejects_extra_quantity_keys(self):
+        with pytest.raises(ValueError):
+            make_bench_result(
+                "x", {"q": {"value": 1.0, "unit": "s", "note": "nope"}}, {})
+
+    def test_rejects_missing_unit(self):
+        with pytest.raises(ValueError):
+            make_bench_result("x", {"q": {"value": 1.0}}, {})
+
+    def test_rejects_bool_counter(self):
+        with pytest.raises(ValueError):
+            make_bench_result("x", {}, {"flag": True})
+
+    def test_rejects_non_int_counter(self):
+        with pytest.raises(ValueError):
+            make_bench_result("x", {}, {"n": 1.5})
+
+
+class TestRoundtrip:
+    def test_write_load(self, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        write_bench_json(doc(), path)
+        assert load_bench_json(path) == doc()
+        # Stable serialization: sorted keys, trailing newline.
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(
+            doc(), indent=2, sort_keys=True) + "\n"
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps(doc(schema="other/v9")))
+        with pytest.raises(ValueError):
+            load_bench_json(path)
+
+    def test_checker_accepts_written_doc(self, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        write_bench_json(doc(), path)
+        assert check_bench(str(path)) == []
+
+    def test_checker_flags_negative_counter(self, tmp_path):
+        bad = doc()
+        bad["counters"]["attempts"] = -1
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps(bad))
+        assert check_bench(str(path))
+
+
+class TestCompareBench:
+    def test_identical_ok(self):
+        verdict = compare_bench(doc(), copy.deepcopy(doc()))
+        assert verdict["ok"] and not verdict["failures"]
+
+    def test_counter_drift_fails(self):
+        current = doc()
+        current["counters"]["attempts"] += 1
+        verdict = compare_bench(doc(), current)
+        assert not verdict["ok"]
+        assert any("attempts" in f for f in verdict["failures"])
+
+    def test_wall_regression_fails_one_sided(self):
+        slower = doc()
+        slower["quantities"]["wall_s"]["value"] *= 10.0
+        verdict = compare_bench(doc(), slower)
+        assert not verdict["ok"]
+        assert any("wall_s" in f for f in verdict["failures"])
+
+    def test_wall_within_tolerance_ok(self):
+        slower = doc()
+        slower["quantities"]["wall_s"]["value"] *= 1.5
+        assert compare_bench(doc(), slower)["ok"]
+
+    def test_big_improvement_notes_not_fails(self):
+        faster = doc()
+        faster["quantities"]["wall_s"]["value"] /= 10.0
+        verdict = compare_bench(doc(), faster)
+        assert verdict["ok"]
+        assert any("wall_s" in n for n in verdict["notes"])
+
+    def test_non_time_unit_compared_exactly(self):
+        drifted = doc()
+        drifted["quantities"]["speedup"]["value"] *= 1.01
+        verdict = compare_bench(doc(), drifted)
+        assert not verdict["ok"]
+        assert any("speedup" in f for f in verdict["failures"])
+
+    def test_scale_mismatch_short_circuits(self):
+        other = doc(environment=environment(GATE_SCALE * 2))
+        verdict = compare_bench(doc(), other)
+        assert not verdict["ok"]
+        assert any("scale" in f for f in verdict["failures"])
+
+    def test_missing_quantity_fails(self):
+        current = doc()
+        del current["quantities"]["per_job"]
+        assert not compare_bench(doc(), current)["ok"]
+
+    def test_missing_counter_fails(self):
+        current = doc()
+        del current["counters"]["jobs"]
+        assert not compare_bench(doc(), current)["ok"]
+
+    def test_custom_tolerance(self):
+        slower = doc()
+        slower["quantities"]["wall_s"]["value"] *= 1.5
+        verdict = compare_bench(doc(), slower, wall_tolerance=0.2)
+        assert not verdict["ok"]
+
+
+class TestGateSelfCheck:
+    """The gate's injected-regression logic, on a synthetic payload (the
+    CLI ``--selftest`` exercises the same path on a real bench run)."""
+
+    def test_injection_detected_and_clean_compares_clean(self):
+        baseline = doc()
+        regressed = json.loads(json.dumps(baseline))
+        wall_label = next(iter(regressed["quantities"]))
+        regressed["quantities"][wall_label]["value"] *= 10.0
+        counter_label = next(iter(regressed["counters"]))
+        regressed["counters"][counter_label] += 1
+
+        verdict = compare_bench(baseline, regressed)
+        assert not verdict["ok"]
+        assert any(wall_label in f for f in verdict["failures"])
+        assert any(counter_label in f for f in verdict["failures"])
+        assert compare_bench(
+            baseline, json.loads(json.dumps(baseline)))["ok"]
+
+    def test_committed_baselines_validate(self):
+        results = pathlib.Path(__file__).parent.parent / "benchmarks" / \
+            "results"
+        paths = sorted(results.glob("BENCH_*.json"))
+        assert len(paths) == 4, paths
+        for path in paths:
+            assert check_bench(str(path)) == [], path
+            loaded = load_bench_json(path)
+            assert loaded["environment"]["scale"] == GATE_SCALE, path

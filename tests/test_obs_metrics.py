@@ -156,3 +156,69 @@ class TestPrometheusText:
         path = tmp_path / "m.prom"
         path.write_text(reg.export_prometheus_text())
         assert checker.check_metrics(str(path)) == []
+
+
+class TestPrometheusEdgeCases:
+    """Exposition-format corners: escaping, degenerate registries,
+    non-finite values, and bucket monotonicity under odd inputs."""
+
+    def test_newline_in_label_value_escaped(self, reg):
+        c = reg.counter("x_total", "x", ("name",))
+        c.labels(name="two\nlines").inc()
+        text = reg.export_prometheus_text()
+        assert 'x_total{name="two\\nlines"} 1' in text.splitlines()
+
+    def test_backslash_quote_newline_combined(self, reg):
+        c = reg.counter("x_total", "x", ("name",))
+        c.labels(name='a\\b"c\nd').inc()
+        # Escape order matters: backslash first, so the escapes
+        # themselves are not re-escaped.
+        assert 'x_total{name="a\\\\b\\"c\\nd"} 1' in (
+            reg.export_prometheus_text().splitlines()
+        )
+
+    def test_empty_registry_exports_no_samples(self, reg):
+        text = reg.export_prometheus_text()
+        assert text == "\n"
+        assert reg.snapshot() == {}
+
+    def test_nan_and_inf_gauges_render_spec_spellings(self, reg):
+        reg.gauge("g_nan", "nan").set(float("nan"))
+        reg.gauge("g_pinf", "+inf").set(float("inf"))
+        reg.gauge("g_ninf", "-inf").set(float("-inf"))
+        lines = reg.export_prometheus_text().splitlines()
+        assert "g_nan NaN" in lines
+        assert "g_pinf +Inf" in lines
+        assert "g_ninf -Inf" in lines
+
+    def test_histogram_buckets_monotone_with_boundary_hits(self, reg):
+        # Observations exactly on bucket edges land in their own le
+        # bucket (le is inclusive) and the cumulative counts never dip.
+        h = reg.histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.1, 1.0, 10.0, 10.0001):
+            h.observe(v)
+        snap = reg.snapshot()
+        series = [snap['lat_bucket{le="0.1"}'], snap['lat_bucket{le="1"}'],
+                  snap['lat_bucket{le="10"}'], snap['lat_bucket{le="+Inf"}']]
+        assert series == sorted(series)
+        assert series[-1] == snap["lat_count"] == 4
+
+    def test_edge_cases_pass_schema_checker(self, reg, tmp_path):
+        import pathlib
+        import sys
+
+        sys.path.insert(
+            0, str(pathlib.Path(__file__).parent.parent / "benchmarks")
+        )
+        try:
+            import _check_obs_schema as checker
+        finally:
+            sys.path.pop(0)
+        c = reg.counter("repro_weird_total", "weird labels", ("name",))
+        c.labels(name='a\\b"c\nd').inc()
+        reg.gauge("repro_g", "non-finite").set(float("inf"))
+        h = reg.histogram("repro_lat", "latency", buckets=(0.5,))
+        h.observe(0.5)
+        path = tmp_path / "edge.prom"
+        path.write_text(reg.export_prometheus_text())
+        assert checker.check_metrics(str(path)) == []
