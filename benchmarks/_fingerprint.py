@@ -192,29 +192,44 @@ def _diff(label_a: str, a: dict, label_b: str, b: dict) -> int:
 def vs_naive(scale: float) -> None:
     """Assert the indexed and naive allocator search paths decide
     identically — the decision-invariance contract of the incremental
-    occupancy indexes."""
+    occupancy indexes, the bitset shape search and the cross-pass memo
+    — in event-driven, batch-step and faulted replay."""
+    variants = (
+        ("event", {}),
+        ("batch", dict(step_interval=300.0)),
+        ("faulted", dict(
+            mttf=20_000.0, fault_seed=1,
+            fault_victim_policy="requeue-remaining",
+            checkpoint_interval=600.0,
+        )),
+    )
     prev = os.environ.pop("REPRO_NAIVE_SEARCH", None)
     try:
-        indexed = fingerprint(scale)
-        os.environ["REPRO_NAIVE_SEARCH"] = "1"
-        naive = fingerprint(scale)
+        for label, kwargs in variants:
+            os.environ.pop("REPRO_NAIVE_SEARCH", None)
+            indexed = fingerprint(scale, **kwargs)
+            os.environ["REPRO_NAIVE_SEARCH"] = "1"
+            naive = fingerprint(scale, **kwargs)
+            # Decision keys only: the naive paths disable the batch
+            # screens, so the prefilter diagnostics legitimately differ.
+            bad = _diff(
+                f"indexed[{label}]", _decisions(indexed),
+                f"naive[{label}]", _decisions(naive),
+            )
+            if bad:
+                raise SystemExit(
+                    f"indexed vs naive fingerprints differ "
+                    f"({label}: {bad} of {len(indexed)} runs)"
+                )
+            print(
+                f"vs-naive ok: {len(indexed)} fingerprints identical "
+                f"({label} runs, indexed vs naive search, scale {scale})"
+            )
     finally:
         if prev is None:
             os.environ.pop("REPRO_NAIVE_SEARCH", None)
         else:
             os.environ["REPRO_NAIVE_SEARCH"] = prev
-    # Decision keys only: the naive paths disable the batch screens, so
-    # the prefilter diagnostics legitimately differ.
-    bad = _diff("indexed", _decisions(indexed), "naive", _decisions(naive))
-    if bad:
-        raise SystemExit(
-            f"indexed vs naive fingerprints differ "
-            f"({bad} of {len(indexed)} runs)"
-        )
-    print(
-        f"vs-naive ok: {len(indexed)} fingerprints identical "
-        f"(indexed vs naive search, scale {scale})"
-    )
 
 
 def vs_scalar(scale: float) -> None:

@@ -10,17 +10,27 @@ allocator attempts).  Then takes the new radix-32 preset for a bounded
 smoke run: Synth-32 on the 8192-node cluster, vector pass, must drain
 the queue.
 
+A third leg measures the bitset shape search + cross-pass memo against
+the ``REPRO_NAIVE_SEARCH`` scalar twin for the search-heavy schemes
+(jigsaw, laas, lc+s) on the same trace.
+
 Targets: the vector pass must cut end-to-end wall ms/job by >= 1.5x
-for the paper's own scheme (jigsaw) on Synth-28.  Wall-clock ratios
-get CI head-room; the deterministic invariants (placement identity,
+for the paper's own scheme (jigsaw) on Synth-28, and the indexed
+search must beat the naive twin by >= 1.5x on jigsaw/laas (>= 1.2x on
+lc+s, whose step budget caps the win).  Wall-clock ratios get CI
+head-room; the deterministic invariants (placement identity,
 attempt equality, a moving prefilter counter) carry the strict checks.
 ``baseline`` and ``ta`` appear in the table but are exempt from the
 speed bound: their searches are already so cheap that the column build
 is pure overhead (baseline, ~0.85x) or a wash (ta, ~1.0x).
 """
 
+import os
+import time
+
 from repro.experiments.grid import run_grid, setup_for, sim_cell
 from repro.experiments.report import render_table
+from repro.experiments.runner import run_scheme
 from repro.obs.bench import GATE_SCALE, environment, make_bench_result
 
 TRACE = "Synth-28"
@@ -32,6 +42,16 @@ SCHEMES = ("baseline", "ta", "laas", "jigsaw", "lc+s")
 #: the scored scheme; the other search-heavy schemes get CI head-room
 MIN_SPEEDUP = 1.5
 SPEEDUP_SCHEMES = ("laas", "jigsaw", "lc+s")
+
+#: end-to-end ms/job floors for the bitset shape search + cross-pass
+#: memo (indexed search vs the ``REPRO_NAIVE_SEARCH`` scalar twin) on
+#: Synth-28.  lc+s gets a lower floor: its 50k step budget bounds how
+#: much scalar work the columnar inner loop can displace.
+SEARCH_MIN_SPEEDUP = {"jigsaw": 1.5, "laas": 1.5, "lc+s": 1.2}
+
+#: wall-clock floors get CI head-room (shared runners are noisy); the
+#: committed baseline documents the full measured speedup.
+SEARCH_SPEEDUP_HEADROOM = 0.7
 
 #: schemes whose restricted shapes give the prefilter something to skip
 #: (baseline's only failure mode is the free-node count, which the
@@ -104,13 +124,77 @@ def scale_smoke(scale=None, seed=0):
     }
 
 
+def _timed_search_run(scheme, naive, scale, seed):
+    """One in-process run with the indexed or naive search selected.
+
+    The naive twin is selected the same way the fingerprint harness
+    selects it — via ``REPRO_NAIVE_SEARCH`` at allocator construction —
+    so this measures exactly the path the invariance checks certify.
+    Runs in-process (no grid pool) so the environment toggle is seen.
+    """
+    old = os.environ.get("REPRO_NAIVE_SEARCH")
+    if naive:
+        os.environ["REPRO_NAIVE_SEARCH"] = "1"
+    else:
+        os.environ.pop("REPRO_NAIVE_SEARCH", None)
+    try:
+        setup = setup_for(TRACE, scale=scale, seed=seed)
+        t0 = time.perf_counter()
+        result = run_scheme(setup, scheme, seed=seed)
+        return result, time.perf_counter() - t0
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_NAIVE_SEARCH", None)
+        else:
+            os.environ["REPRO_NAIVE_SEARCH"] = old
+
+
+def search_speedup(scale=None, seed=0):
+    """(scheme -> row) bitset search + cross-pass memo vs naive twin.
+
+    End-to-end wall ms/job on Synth-28, best of ``REPEATS`` runs per
+    variant, for the search-heavy schemes.  The decision invariants are
+    asserted by the caller (identical placements, identical leftovers);
+    this just measures and carries both results.
+    """
+    setup_for(TRACE, scale=scale, seed=seed)
+    rows = {}
+    for scheme in SEARCH_MIN_SPEEDUP:
+        walls, results = {}, {}
+        for naive in (False, True):
+            best = float("inf")
+            result = None
+            for _ in range(REPEATS):
+                result, wall = _timed_search_run(scheme, naive, scale, seed)
+                best = min(best, wall)
+            walls[naive], results[naive] = best, result
+        indexed, nai = results[False], results[True]
+        jobs = len(indexed.jobs) or 1
+        ix_ms = walls[False] * 1e3 / jobs
+        na_ms = walls[True] * 1e3 / jobs
+        rows[scheme] = {
+            "ms/job": f"{na_ms:.3f}->{ix_ms:.3f}",
+            "speedup": na_ms / ix_ms if ix_ms else float("inf"),
+            "floor": SEARCH_MIN_SPEEDUP[scheme],
+            "memo hits": indexed.xpass_memo_hits,
+            "epoch flushes": indexed.xpass_memo_epoch_flushes,
+            "replayed steps": indexed.xpass_memo_replayed_steps,
+            "_indexed": indexed,
+            "_naive": nai,
+            "_indexed_ms": ix_ms,
+            "_naive_ms": na_ms,
+        }
+    return rows
+
+
 def pass_scale_suite(scale=None, seed=0, workers=None):
-    """Both measurements, in one timed unit."""
+    """All three measurements, in one timed unit."""
     return (pass_scale(scale=scale, seed=seed, workers=workers),
-            scale_smoke(scale=scale, seed=seed))
+            scale_smoke(scale=scale, seed=seed),
+            search_speedup(scale=scale, seed=seed))
 
 
-def render(rows, smoke):
+def render(rows, smoke, search_rows):
     columns = ("util%", "ms/job", "speedup", "sched x", "prefiltered",
                "cut skips", "attempts", "rounds")
     visible = {
@@ -130,13 +214,29 @@ def render(rows, smoke):
         ("nodes", "jobs", "wall s", "ms/job", "util%", "unscheduled"),
         row_header="scheme",
     )
-    return main + "\n\n" + smoke_tbl
+    search_tbl = render_table(
+        f"Bitset search + cross-pass memo: {TRACE}, naive twin vs "
+        "indexed (wall ms/job)",
+        {scheme: {k: v for k, v in row.items() if not k.startswith("_")}
+         for scheme, row in search_rows.items()},
+        ("ms/job", "speedup", "floor", "memo hits", "epoch flushes",
+         "replayed steps"),
+        row_header="scheme",
+    )
+    return main + "\n\n" + smoke_tbl + "\n\n" + search_tbl
 
 
 def bench_payload(scale: float = GATE_SCALE, seed: int = 0) -> dict:
     """The ``BENCH_pass_scale.json`` document: vector vs scalar pass on
-    the gate slice (Synth-28 under jigsaw), wall time tolerant and the
-    prefilter work proxies exact."""
+    the gate slice (Synth-28 under jigsaw) plus the bitset-search vs
+    naive-twin leg for the search-heavy schemes, wall time tolerant and
+    the work proxies (attempts, memo counters) exact.
+
+    The search leg enforces the ms/job floors (with CI head-room) and
+    the decision invariant — naive and indexed runs must place the same
+    jobs at the same times — so the gate fails loudly if either the
+    speedup collapses or the twin paths ever diverge.
+    """
     setup_for(TRACE, scale=scale, seed=seed)
     vec_out, sca_out = run_grid([
         sim_cell(trace=TRACE, scheme=SMOKE_SCHEME, scale=scale, seed=seed),
@@ -159,16 +259,35 @@ def bench_payload(scale: float = GATE_SCALE, seed: int = 0) -> dict:
         "jobs": jobs,
         "unscheduled": len(vec.unscheduled),
     }
+    for scheme, row in search_speedup(scale=scale, seed=seed).items():
+        indexed, naive = row["_indexed"], row["_naive"]
+        assert [(j.job_id, j.start, j.end) for j in indexed.jobs] == [
+            (j.job_id, j.start, j.end) for j in naive.jobs
+        ], scheme
+        assert indexed.unscheduled == naive.unscheduled, scheme
+        floor = SEARCH_MIN_SPEEDUP[scheme]
+        assert row["speedup"] >= floor * SEARCH_SPEEDUP_HEADROOM, (
+            scheme, row["speedup"], floor)
+        tag = scheme.replace("+", "")
+        quantities[f"search_indexed_ms_per_job.{tag}"] = {
+            "value": row["_indexed_ms"], "unit": "ms"}
+        quantities[f"search_naive_ms_per_job.{tag}"] = {
+            "value": row["_naive_ms"], "unit": "ms"}
+        counters[f"search_xpass_memo_hits.{tag}"] = indexed.xpass_memo_hits
+        counters[f"search_xpass_memo_epoch_flushes.{tag}"] = (
+            indexed.xpass_memo_epoch_flushes)
+        counters[f"search_xpass_memo_replayed_steps.{tag}"] = (
+            indexed.xpass_memo_replayed_steps)
     return make_bench_result(
         "pass_scale", quantities, counters, env=environment(scale),
     )
 
 
 def bench_pass_scale(benchmark, save_result, save_bench, scale):
-    rows, smoke = benchmark.pedantic(
+    rows, smoke, search_rows = benchmark.pedantic(
         lambda: pass_scale_suite(scale=scale), rounds=1, iterations=1
     )
-    save_result("pass_scale", render(rows, smoke))
+    save_result("pass_scale", render(rows, smoke, search_rows))
 
     for scheme, row in rows.items():
         vec, sca = row["_vec"], row["_sca"]
@@ -194,6 +313,17 @@ def bench_pass_scale(benchmark, save_result, save_bench, scale):
     # The headline target: >= 1.5x wall ms/job for the paper's own
     # scheme (the table saved above reports every other scheme).
     assert rows["jigsaw"]["speedup"] >= MIN_SPEEDUP, rows["jigsaw"]
+
+    # Bitset search + cross-pass memo: the indexed search must beat the
+    # naive twin by its per-scheme floor while deciding identically.
+    for scheme, row in search_rows.items():
+        indexed, naive = row["_indexed"], row["_naive"]
+        assert [(j.job_id, j.start, j.end) for j in indexed.jobs] == [
+            (j.job_id, j.start, j.end) for j in naive.jobs
+        ], scheme
+        assert indexed.unscheduled == naive.unscheduled, scheme
+        assert row["speedup"] >= SEARCH_MIN_SPEEDUP[scheme], (
+            scheme, row["speedup"])
 
     # Radix-32 smoke: the 8192-node preset drains its queue on the
     # vector pass, and the run actually went through it.

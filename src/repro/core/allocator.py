@@ -103,6 +103,17 @@ class AllocatorStats:
     #: per-search negative-memo consultations that skipped a repeated
     #: per-pod sub-search (LC family)
     memo_hits: int = 0
+    #: cross-pass negative-memo hits: per-pod sub-searches skipped
+    #: because an earlier allocate() proved them infeasible and the
+    #: pod's mutation epoch has not moved since
+    xpass_memo_hits: int = 0
+    #: cross-pass memo entries dropped at lookup because the pod's
+    #: mutation epoch had moved on (claim/release/repair touched it)
+    xpass_memo_epoch_flushes: int = 0
+    #: backtracking steps replayed from the cross-pass memo instead of
+    #: executed; ``backtrack_steps + xpass_memo_replayed_steps`` is
+    #: invariant under the memo (the twin-equivalence tests rely on it)
+    xpass_memo_replayed_steps: int = 0
     #: budgeted backtracking steps actually executed across all searches
     backtrack_steps: int = 0
     #: queued candidates the vectorized pass rejected without running

@@ -66,6 +66,23 @@ class JigsawAllocator(Allocator):
     #: them to that.
     use_indexes: bool = True
 
+    #: score the two-level shape search on the occupancy-index columns
+    #: (one numpy pass per shape over all feasible pods) instead of
+    #: running the per-pod backtracking for every candidate.  Only exact
+    #: for pods without uplink-claimed leaves — others fall back to the
+    #: scalar search — and only engaged with ``strategy="scored"`` on
+    #: the indexed path.  The LC family disables it: its step budget is
+    #: decision-relevant and its link masks are bandwidth-dependent.
+    vector_two_level: bool = True
+
+    #: keep negative per-pod sub-search verdicts *across* allocate()
+    #: calls, validated by the pod's mutation epoch
+    #: (:attr:`ClusterState.pod_epoch`).  A hit replays the recorded
+    #: step cost through :meth:`_charge` so budget-limited schemes time
+    #: out at the identical step.  Disabled automatically on the naive
+    #: twin; ``REPRO_NO_XPASS_MEMO=1`` disables it for invariance tests.
+    use_xpass_memo: bool = True
+
     #: backtracking-step ceiling per allocation attempt; generous enough
     #: that Jigsaw never hits it in practice (its search space is small —
     #: that is the point of the full-leaf restriction), but it bounds
@@ -86,6 +103,13 @@ class JigsawAllocator(Allocator):
         # Per-_search negative/positive memo for repeated per-pod
         # sub-searches (used by the LC family, cleared at every search).
         self._pod_memo: Dict[Tuple[int, int, int, int], tuple] = {}
+        # Cross-pass negative memo: (pod, LT, nL, nrL, bw-key) ->
+        # (pod epoch at record time, step cost).  Entries outlive
+        # _search calls and are validated lazily against the pod's
+        # mutation epoch — the same claim/release/repair paths that
+        # invalidate the feasibility cache bump the epoch, so a valid
+        # entry proves the sub-search would fail identically again.
+        self._xpass_memo: Dict[tuple, Tuple[object, int]] = {}
 
     class BudgetExhausted(Exception):
         """Raised internally when a search exceeds its step budget."""
@@ -225,6 +249,12 @@ class JigsawAllocator(Allocator):
         """
         prof = self.prof
         profiling = prof.enabled
+        if (
+            self.strategy == "scored"
+            and self.use_indexes
+            and self.vector_two_level
+        ):
+            return self._search_two_level_vector(alloc_size)
         if self.strategy == "first":
             for shape in self._two_level_shape_iter(alloc_size):
                 for pod in self._pods_profiled(alloc_size, shape, profiling):
@@ -254,6 +284,175 @@ class JigsawAllocator(Allocator):
         if best is None:
             return None
         return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    # Vectorized scored search over the occupancy-index columns
+    # ------------------------------------------------------------------
+    def _search_two_level_vector(self, alloc_size: int):
+        """Scored two-level search evaluated on ``_leaf_ge`` columns.
+
+        For a pod without uplink-claimed leaves the backtracking of
+        :meth:`_find_two_level_in_pod_impl` degenerates to a
+        deterministic greedy: every leaf mask is full, so the L2
+        intersection never shrinks, the chosen leaves are simply the
+        first ``LT`` candidates in best-fit order and the remainder
+        leaf the first further candidate with ``>= nrL`` free nodes.
+        Feasibility and the fragmentation score are then pure functions
+        of the pod's free-count histogram, evaluated here for every
+        feasible pod of a shape in one numpy pass.  Pods holding a
+        claimed uplink fall back to the scalar per-pod search (their
+        masks can prune the backtracking).
+
+        Selection replicates the scalar loop exactly: the first
+        candidate in (shape, pod) iteration order whose score starts
+        ``(0, 0)`` wins immediately; otherwise the strict-``<`` minimum
+        over ``(broken, residue, consumed)`` with the earliest
+        (shape, pod) on ties.  The winner is re-materialized through
+        the scalar search, which reproduces the scored solution.
+        """
+        tree = self.tree
+        prof = self.prof
+        profiling = prof.enabled
+        ge_all = self.state.leaf_ge_view()
+        best = None  # (broken, residue, consumed, shape_idx, pod, shape, found)
+        for shape_idx, shape in enumerate(self._two_level_shape_iter(alloc_size)):
+            if not shape.single_leaf and shape.nL > tree.l2_per_pod:
+                # No leaf can offer nL common uplinks; the scalar walk
+                # rejects every candidate set in every pod.
+                continue
+            pods = self._pods_profiled(alloc_size, shape, profiling)
+            if not pods:
+                continue
+            if profiling:
+                with prof.stage("pod_fit"):
+                    ranked = self._score_shape_pods(shape, pods, ge_all)
+            else:
+                ranked = self._score_shape_pods(shape, pods, ge_all)
+            if ranked is None:
+                continue
+            broken, residue, consumed, pod, found = ranked
+            if broken == 0 and residue == 0:
+                return self._materialize_two_level(shape, pod, found)
+            key = (broken, residue, consumed, shape_idx, pod)
+            if best is None or key < best[:5]:
+                best = (broken, residue, consumed, shape_idx, pod, shape, found)
+        if best is None:
+            return None
+        return self._materialize_two_level(best[5], best[4], best[6])
+
+    def _score_shape_pods(self, shape: TwoLevelShape, pods, ge_all):
+        """Best candidate for ``shape`` among ``pods`` (ascending order).
+
+        Returns ``(broken, residue, consumed, pod, found)`` — the first
+        pod whose score starts ``(0, 0)`` if one exists, else the
+        lexicographic-minimum ``(score, pod)`` — or ``None`` when no pod
+        is feasible.  ``found`` is the scalar solution for pods scored
+        through the fallback path, ``None`` for vector-scored pods.
+        """
+        state = self.state
+        m1 = self.tree.m1
+        LT, nL, nrL = shape.LT, shape.nL, shape.nrL
+        pods_arr = np.asarray(pods, dtype=np.int64)
+        if shape.single_leaf:
+            # No links touched: the histogram greedy is exact even for
+            # pods with claimed uplinks.
+            clean_pods = pods_arr
+            busy_results = []
+        else:
+            busy_sel = state.busy_leaf_any[pods_arr]
+            clean_pods = pods_arr[~busy_sel]
+            busy_results = []
+            for pod in pods_arr[busy_sel].tolist():
+                found = self._find_two_level_in_pod(pod, shape)
+                if found is not None:
+                    busy_results.append(
+                        (pod, self._score_two_level(shape, found), found)
+                    )
+        ge = ge_all[:, clean_pods]
+        if nrL:
+            # A remainder leaf needs an (LT+1)-th distinct leaf with
+            # >= nrL free nodes; with full masks this is also sufficient.
+            ok = ge[nrL] >= LT + 1
+            if not ok.all():
+                clean_pods = clean_pods[ok]
+                ge = ge[:, ok]
+        P = clean_pods.size
+        if P:
+            # Greedy take: LT smallest sufficient free-counts, low f
+            # first (the maintained best-fit bucket order).
+            remaining = np.full(P, LT, dtype=np.int64)
+            sum_f = np.zeros(P, dtype=np.int64)
+            m1_taken = np.zeros(P, dtype=np.int64)
+            for f in range(nL, m1 + 1):
+                cnt = (ge[f] - ge[f + 1]) if f < m1 else ge[m1]
+                take = np.minimum(remaining, cnt)
+                if f == m1:
+                    m1_taken = take
+                sum_f += f * take
+                remaining -= take
+            residue = sum_f - LT * nL
+            if nL == m1:
+                consumed = m1_taken
+                broken = np.zeros(P, dtype=np.int64)
+            else:
+                broken = m1_taken.astype(np.int64)
+                consumed = np.zeros(P, dtype=np.int64)
+            if nrL:
+                # Remainder free-count: the smallest f in [nrL, nL) if
+                # such a leaf exists (it precedes every chosen leaf in
+                # bucket order), else the (LT+1)-th candidate >= nL.
+                fr = np.full(P, -1, dtype=np.int64)
+                for f in range(nrL, nL):
+                    cnt = ge[f] - ge[f + 1]
+                    fr = np.where((fr < 0) & (cnt > 0), f, fr)
+                if (fr < 0).any():
+                    cum = np.zeros(P, dtype=np.int64)
+                    fr2 = np.full(P, -1, dtype=np.int64)
+                    for f in range(nL, m1 + 1):
+                        cnt = (ge[f] - ge[f + 1]) if f < m1 else ge[m1]
+                        cum += cnt
+                        fr2 = np.where((fr2 < 0) & (cum >= LT + 1), f, fr2)
+                    fr = np.where(fr < 0, fr2, fr)
+                residue = residue + (fr - nrL)
+                broken = broken + (fr == m1)
+        # First (0, 0)-scored pod in ascending pod order wins outright.
+        perfect = None
+        if P:
+            perf = np.flatnonzero((broken == 0) & (residue == 0))
+            if perf.size:
+                i = int(perf[0])
+                perfect = (0, 0, int(consumed[i]), int(clean_pods[i]), None)
+        for pod, sc, found in busy_results:
+            if sc[0] == 0 and sc[1] == 0:
+                if perfect is None or pod < perfect[3]:
+                    perfect = (sc[0], sc[1], sc[2], pod, found)
+                break
+        if perfect is not None:
+            return perfect
+        candidates = []
+        if P:
+            i = int(np.lexsort((clean_pods, consumed, residue, broken))[0])
+            candidates.append(
+                (int(broken[i]), int(residue[i]), int(consumed[i]),
+                 int(clean_pods[i]), None)
+            )
+        for pod, sc, found in busy_results:
+            candidates.append((sc[0], sc[1], sc[2], pod, found))
+        if not candidates:
+            return None
+        # Pods are unique across the two sources, so the tuple compare
+        # never reaches the solution field.
+        return min(candidates, key=lambda c: c[:4])
+
+    def _materialize_two_level(self, shape: TwoLevelShape, pod: int, found):
+        """Turn a winning (shape, pod) back into a concrete solution."""
+        if found is None:
+            found = self._find_two_level_in_pod(pod, shape)
+            if found is None:
+                raise RuntimeError(
+                    "vector two-level score disagreed with scalar search"
+                )
+        return shape, found
 
     def _pods_profiled(
         self, alloc_size: int, shape: TwoLevelShape, profiling: bool
@@ -341,7 +540,76 @@ class JigsawAllocator(Allocator):
         """Bitmask of free spine links at (pod, L2 i) (hook for LC)."""
         return self.state.spine_free_mask[pod][i]
 
+    # ------------------------------------------------------------------
+    # Cross-pass negative memo
+    # ------------------------------------------------------------------
+    def _memo_bw_key(self) -> Optional[float]:
+        """Bandwidth component of the cross-pass memo key.
+
+        ``None`` for the exclusive-link schemes, whose per-pod searches
+        depend only on pod-local occupancy; LC+S overrides this with the
+        current job's bandwidth need (its link masks depend on it)."""
+        return None
+
+    def _pod_epoch_key(self, pod: int):
+        """Mutation-epoch token guarding memo entries for ``pod``.
+
+        A per-pod sub-search reads only pod-local state, and every
+        mutation of that state (claim/release/release_many, including
+        the fault injector's) bumps the epoch — so an unchanged token
+        proves the sub-search would replay identically."""
+        return int(self.state.pod_epoch[pod])
+
+    def _xpass_memo_lookup(self, key: tuple) -> Optional[int]:
+        """Step cost of a valid negative memo entry, or ``None``.
+
+        Stale entries (epoch moved on) are dropped and counted; the
+        caller charges the returned cost through :meth:`_charge` and
+        treats the sub-search as failed.  Keys are
+        ``(kind, pod, ...shape fields..., bw)`` — the leading ``kind``
+        tag separates sub-searches with different semantics (a pod that
+        cannot host a *linked* three-level slice may still host the
+        identical node counts as a link-free single-leaf shape)."""
+        hit = self._xpass_memo.get(key)
+        if hit is None:
+            return None
+        epoch, cost = hit
+        if epoch != self._pod_epoch_key(key[1]):
+            del self._xpass_memo[key]
+            self.stats.xpass_memo_epoch_flushes += 1
+            return None
+        self.stats.xpass_memo_hits += 1
+        # Replayed-step accounting mirrors what the un-memoized search
+        # would have *executed*: when the budget binds mid-replay, the
+        # scalar twin only runs the steps left before timing out.
+        self.stats.xpass_memo_replayed_steps += min(cost, self._steps_left)
+        return cost
+
     def _find_two_level_in_pod(
+        self, pod: int, shape: TwoLevelShape
+    ) -> Optional[Tuple[List[int], int, Optional[int], int]]:
+        """Memo-guarded :meth:`_find_two_level_in_pod_impl`.
+
+        A valid cross-pass entry replays the recorded failure: the step
+        cost is charged against the budget (so a budget-limited scheme
+        times out at the identical step) and ``None`` is returned
+        without re-walking the pod.  Only *completed* failed searches
+        are recorded — a budget abort propagates before the store."""
+        if not (self.use_indexes and self.use_xpass_memo):
+            return self._find_two_level_in_pod_impl(pod, shape)
+        key = ("2l", pod, shape.LT, shape.nL, shape.nrL, self._memo_bw_key())
+        cost = self._xpass_memo_lookup(key)
+        if cost is not None:
+            self._charge(cost)
+            return None
+        epoch = self._pod_epoch_key(pod)
+        before = self._steps_left
+        result = self._find_two_level_in_pod_impl(pod, shape)
+        if result is None:
+            self._xpass_memo[key] = (epoch, before - self._steps_left)
+        return result
+
+    def _find_two_level_in_pod_impl(
         self, pod: int, shape: TwoLevelShape
     ) -> Optional[Tuple[List[int], int, Optional[int], int]]:
         """Find ``shape`` inside ``pod``.
@@ -461,15 +729,24 @@ class JigsawAllocator(Allocator):
         if shape.nL != tree.m1:
             raise ValueError("Jigsaw three-level shapes must use full leaves")
 
+        # Full leaves are placed with *all* their uplinks claimed, so a
+        # pod only qualifies through its usable full leaves — fully free
+        # nodes AND fully free uplinks.  Counting merely fully-free
+        # leaves here let the search pick a leaf whose uplink was held
+        # by a fault, and the subsequent claim blew up mid-allocation.
         if self.use_indexes:
-            candidates = state.feasible_pods(
+            prefiltered = state.feasible_pods(
                 0, min_full_leaves=shape.LT
             ).tolist()
-            self.stats.pods_pruned += tree.num_pods - len(candidates)
+            self.stats.pods_pruned += tree.num_pods - len(prefiltered)
+            candidates = [
+                p for p in prefiltered
+                if state.usable_full_leaves(p) >= shape.LT
+            ]
         else:
             candidates = [
                 p for p in range(tree.num_pods)
-                if state.full_free_leaves[p] >= shape.LT
+                if self._usable_full_leaf_mask(p).bit_count() >= shape.LT
             ]
         if len(candidates) < shape.T:
             return None
@@ -553,7 +830,7 @@ class JigsawAllocator(Allocator):
         tree = self.tree
         state = self.state
         n_i = tree.l2_per_pod
-        if state.full_free_leaves[rp] < shape.LrT:
+        if self._usable_full_leaf_mask(rp).bit_count() < shape.LrT:
             return None
 
         # Spine availability seen from the remainder pod, restricted to
@@ -599,16 +876,17 @@ class JigsawAllocator(Allocator):
         """Best-fit remainder leaf in pod ``rp`` whose free uplinks allow
         ``nrL`` connections at spine-eligible L2 indices."""
         tree = self.tree
-        free = self.state.free_leaf_counts_in_pod(rp)
         base = tree.first_leaf_of_pod(rp)
-        # The LrT full leaves are picked later from the fully-free pool;
-        # reserve them by preferring a *partially* free remainder leaf and
-        # requiring enough fully-free leaves to remain.  First eligible
-        # leaf in best-fit order == the old min-scan's (free, leaf) pick.
-        fully_free = int(self.state.full_free_leaves[rp])
+        # The LrT full leaves are picked later from the *usable* pool
+        # (fully-free nodes and uplinks); reserve them by preferring a
+        # remainder leaf outside that pool and requiring enough usable
+        # leaves to remain.  A fully-free leaf with a claimed uplink is
+        # fair game — it can never serve as a full leaf anyway.  First
+        # eligible leaf in best-fit order == the old min-scan's pick.
+        usable = self._usable_full_leaf_mask(rp)
+        usable_count = usable.bit_count()
         for leaf in self._pod_candidates(rp, shape.nrL):
-            f = int(free[leaf - base])
-            if f == tree.m1 and fully_free <= shape.LrT:
+            if (usable >> (leaf - base)) & 1 and usable_count <= shape.LrT:
                 continue  # would consume a full leaf the shape still needs
             ok = self._leaf_mask(leaf) & eligible
             if ok.bit_count() < shape.nrL:
@@ -703,37 +981,46 @@ class JigsawAllocator(Allocator):
             shape=shape,
         )
 
+    def _usable_full_leaf_mask(self, pod: int) -> int:
+        """Bitmask of leaf offsets usable as *full* leaves: every node
+        free **and** every uplink cable free.
+
+        Three-level assembly claims all ``l2_per_pod`` uplinks of each
+        full leaf, so a leaf-link fault (or any partial uplink claim)
+        disqualifies an otherwise fully-free leaf — the search must not
+        offer it, or the claim raises mid-allocation.
+        """
+        if self.use_indexes:
+            return self.state.usable_full_leaf_mask(pod)
+        tree = self.tree
+        free = self.state.free_leaf_counts_in_pod(pod)
+        base = tree.first_leaf_of_pod(pod)
+        full = (1 << tree.l2_per_pod) - 1
+        mask = 0
+        for k in range(tree.m2):
+            if free[k] == tree.m1 and self._leaf_mask(base + k) == full:
+                mask |= 1 << k
+        return mask
+
     def _pick_full_free_leaves(
         self, pod: int, count: int, exclude: Optional[int]
     ) -> List[int]:
-        """Lowest-index completely-free leaves of ``pod`` (skipping the
-        remainder leaf if it happens to be fully free)."""
+        """Lowest-index usable full leaves of ``pod`` (skipping the
+        remainder leaf if it happens to be in the usable pool)."""
         if count == 0:
             return []
-        tree = self.tree
-        base = tree.first_leaf_of_pod(pod)
+        base = self.tree.first_leaf_of_pod(pod)
         out: List[int] = []
-        if self.use_indexes:
-            mask = self.state.fully_free_leaf_mask(pod)
-            while mask:
-                low = mask & -mask
-                mask ^= low
-                leaf = base + low.bit_length() - 1
-                if leaf == exclude:
-                    continue
-                out.append(leaf)
-                if len(out) == count:
-                    return out
-        else:
-            free = self.state.free_leaf_counts_in_pod(pod)
-            for k in range(tree.m2):
-                leaf = base + k
-                if leaf == exclude:
-                    continue
-                if free[k] == tree.m1:
-                    out.append(leaf)
-                    if len(out) == count:
-                        return out
+        mask = self._usable_full_leaf_mask(pod)
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            leaf = base + low.bit_length() - 1
+            if leaf == exclude:
+                continue
+            out.append(leaf)
+            if len(out) == count:
+                return out
         raise RuntimeError(
-            f"pod {pod} lost fully-free leaves between search and assembly"
+            f"pod {pod} lost usable full leaves between search and assembly"
         )

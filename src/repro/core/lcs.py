@@ -81,6 +81,12 @@ class LeastConstrainedAllocator(JigsawAllocator):
     #: performance scenarios treat LC+S like the isolating schemes.
     low_interference = True
 
+    #: the LC family keeps the scalar two-level walk: its 50k step
+    #: budget *binds* (the paper's scheduling timeout), so every tick is
+    #: decision-relevant, and the LC+S leaf masks are bandwidth
+    #: headroom, which the occupancy histogram cannot see.
+    vector_two_level = False
+
     def __init__(
         self,
         tree: XGFT,
@@ -105,23 +111,63 @@ class LeastConstrainedAllocator(JigsawAllocator):
         self.max_solutions_per_pod = max_solutions_per_pod
         self._bw = default_bw
         self._bw_by_job: Dict[int, float] = {}
+        # Per-_search columnar mask caches (pod -> per-leaf / per-L2
+        # bitmask rows at the current bandwidth need); reset by _search.
+        self._leaf_mask_cache: Dict[int, List[int]] = {}
+        self._spine_mask_cache: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Link availability: bandwidth headroom instead of exclusive ownership
     # ------------------------------------------------------------------
     def _leaf_mask(self, leaf: int) -> int:
         if self.share_links:
+            if self.use_indexes:
+                # Columnar per-search cache: bandwidth and link state
+                # are fixed for the duration of one _search, so all of
+                # a pod's leaf masks are built in one vectorized pass
+                # (identical IEEE comparison, see
+                # :meth:`LinkCapacityState.leaf_masks_of_pod`) on first
+                # touch instead of one Python loop per leaf per probe.
+                pod = leaf // self.tree.m2
+                row = self._leaf_mask_cache.get(pod)
+                if row is None:
+                    row = self.links.leaf_masks_of_pod(pod, self._bw)
+                    self._leaf_mask_cache[pod] = row
+                return row[leaf - pod * self.tree.m2]
             return self.links.leaf_mask(leaf, self._bw)
         return self.state.leaf_up_mask[leaf]
 
     def _spine_mask(self, pod: int, i: int) -> int:
         if self.share_links:
+            if self.use_indexes:
+                row = self._spine_mask_cache.get(pod)
+                if row is None:
+                    row = self.links.spine_masks_of_pod(pod, self._bw)
+                    self._spine_mask_cache[pod] = row
+                return row[i]
             return self.links.spine_mask(pod, i, self._bw)
         return self.state.spine_free_mask[pod][i]
 
     def _search(self, job_id: int, size: int, bw_need: Optional[float]):
         self._bw = bw_need if bw_need is not None else self.default_bw
+        self._leaf_mask_cache = {}
+        self._spine_mask_cache = {}
         return super()._search(job_id, size, bw_need)
+
+    def _memo_bw_key(self) -> Optional[float]:
+        # LC+S leaf masks depend on the job's bandwidth need, so memo
+        # entries are only valid for the need they were recorded under.
+        return self._bw if self.share_links else None
+
+    def _pod_epoch_key(self, pod: int):
+        # LC+S feasibility additionally reads bandwidth headroom, which
+        # lives in LinkCapacityState — couple both epochs.
+        if self.share_links:
+            return (
+                int(self.state.pod_epoch[pod]),
+                int(self.links.pod_epoch[pod]),
+            )
+        return int(self.state.pod_epoch[pod])
 
     def _trace_attrs(self, size):
         attrs = super()._trace_attrs(size)
@@ -211,13 +257,35 @@ class LeastConstrainedAllocator(JigsawAllocator):
             else:
                 self._charge(cost)
             return sols
+        xkey = None
+        if self.use_xpass_memo:
+            # Cross-pass negative memo: an earlier allocate() proved
+            # this pod empty for the same sub-shape and bandwidth, and
+            # the pod's epochs have not moved.  Replay the recorded
+            # cost (the budget must time out at the identical step) and
+            # seed the per-search memo so repeat probes within this
+            # search count memo_hits exactly as they would have.
+            xkey = ("pe", pod, LT, nL, nrL, self._memo_bw_key())
+            cost = self._xpass_memo_lookup(xkey)
+            if cost is not None:
+                if self.prof.enabled:
+                    with self.prof.stage("memo_replay"):
+                        self._charge(cost)
+                else:
+                    self._charge(cost)
+                self._pod_memo[key] = ([], cost)
+                return []
+            epoch = self._pod_epoch_key(pod)
         before = self._steps_left
         if self.prof.enabled:
             with self.prof.stage("pod_enum"):
                 sols = self._find_all_in_pod_uncached(pod, LT, nL, nrL)
         else:
             sols = self._find_all_in_pod_uncached(pod, LT, nL, nrL)
-        self._pod_memo[key] = (sols, before - self._steps_left)
+        cost = before - self._steps_left
+        self._pod_memo[key] = (sols, cost)
+        if xkey is not None and not sols:
+            self._xpass_memo[xkey] = (epoch, cost)
         return sols
 
     def _find_all_in_pod_uncached(

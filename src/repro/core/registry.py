@@ -47,4 +47,9 @@ def make_allocator(name: str, tree: XGFT, **kwargs) -> Allocator:
     # exists only for that invariance check and for before/after timing.
     if os.environ.get("REPRO_NAIVE_SEARCH", "") not in ("", "0"):
         allocator.use_indexes = False
+    # REPRO_NO_XPASS_MEMO=1 disables only the cross-call negative memo
+    # while keeping the indexed search; placements and budget ticks are
+    # identical either way (the memo replays the recorded cost).
+    if os.environ.get("REPRO_NO_XPASS_MEMO", "") not in ("", "0"):
+        allocator.use_xpass_memo = False
     return allocator

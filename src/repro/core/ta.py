@@ -202,12 +202,9 @@ class TopologyAwareAllocator(Allocator):
                 return None
             pod = int(ok[0])  # first feasible pod, as in the serial scan
             lo = pod * tree.m2
-            usable = [
-                (int(usable_free[lo + k]), lo + k)
-                for k in range(tree.m2)
-                if usable_free[lo + k]
-            ]
-            return self._take_from_leaves(job_id, size, usable)
+            seg = usable_free[lo : lo + tree.m2]
+            idx = np.flatnonzero(seg > 0)
+            return self._take_from_leaves_v(job_id, size, seg[idx], idx + lo)
         for pod in range(tree.num_pods):
             usable = []  # (free, leaf)
             total = 0
@@ -241,8 +238,7 @@ class TopologyAwareAllocator(Allocator):
             limit = (cut + 1) * tree.m2
             mask = np.repeat(eligible[: cut + 1], tree.m2)
             idx = np.flatnonzero((usable_free[:limit] > 0) & mask)
-            pod_leaves = [(int(usable_free[i]), int(i)) for i in idx]
-            return self._take_from_leaves(job_id, size, pod_leaves)
+            return self._take_from_leaves_v(job_id, size, usable_free[idx], idx)
         pod_leaves = []  # (free, leaf)
         total = 0
         for pod in range(tree.num_pods):
@@ -260,6 +256,33 @@ class TopologyAwareAllocator(Allocator):
         if total < size:
             return None
         return self._take_from_leaves(job_id, size, pod_leaves)
+
+    def _take_from_leaves_v(
+        self,
+        job_id: int,
+        size: int,
+        free_arr: np.ndarray,
+        leaf_arr: np.ndarray,
+    ) -> Allocation:
+        """Columnar :meth:`_take_from_leaves`: rank with one lexsort and
+        stop at the prefix the running total proves sufficient.
+
+        ``np.lexsort`` keys are (secondary, primary) = (leaf, -free), so
+        the order is emptiest-first with leaf-id tie-break — exactly the
+        scalar ``sort(key=(-free, leaf))`` ranking.
+        """
+        order = np.lexsort((leaf_arr, -free_arr))
+        f = free_arr[order]
+        leaves = leaf_arr[order]
+        cut = int(np.searchsorted(np.cumsum(f), size))
+        nodes: List[int] = []
+        remaining = size
+        for i in range(cut + 1):
+            take = min(int(f[i]), remaining)
+            nodes.extend(self.state.free_node_ids(int(leaves[i]), take))
+            remaining -= take
+        assert remaining == 0, "capacity was checked before taking nodes"
+        return Allocation(job_id=job_id, size=size, nodes=tuple(nodes))
 
     def _take_from_leaves(
         self, job_id: int, size: int, usable: List[Tuple[int, int]]

@@ -52,6 +52,15 @@ STATS_METRICS = {
                        "candidate lists served from the maintained order"),
     "memo_hits": ("repro_search_memo_hits_total", "counter",
                   "per-search memo hits that skipped a pod sub-search"),
+    "xpass_memo_hits": (
+        "repro_search_xpass_memo_hits_total", "counter",
+        "cross-pass negative-memo hits that skipped a pod sub-search"),
+    "xpass_memo_epoch_flushes": (
+        "repro_search_xpass_memo_epoch_flushes_total", "counter",
+        "cross-pass memo entries dropped because the pod epoch moved"),
+    "xpass_memo_replayed_steps": (
+        "repro_search_xpass_memo_replayed_steps_total", "counter",
+        "backtracking steps replayed from cross-pass memo hits"),
     "backtrack_steps": ("repro_search_backtrack_steps_total", "counter",
                         "backtracking steps executed by searches"),
     "queue_prefiltered": (
@@ -86,6 +95,9 @@ RESULT_METRICS = {
     "pods_pruned": STATS_METRICS["pods_pruned"],
     "candidate_hits": STATS_METRICS["candidate_hits"],
     "memo_hits": STATS_METRICS["memo_hits"],
+    "xpass_memo_hits": STATS_METRICS["xpass_memo_hits"],
+    "xpass_memo_epoch_flushes": STATS_METRICS["xpass_memo_epoch_flushes"],
+    "xpass_memo_replayed_steps": STATS_METRICS["xpass_memo_replayed_steps"],
     "backtrack_steps": STATS_METRICS["backtrack_steps"],
     "queue_prefiltered": STATS_METRICS["queue_prefiltered"],
     "size_cut_skips": STATS_METRICS["size_cut_skips"],

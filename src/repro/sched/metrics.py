@@ -152,6 +152,14 @@ class SimResult:
     candidate_hits: int = 0
     #: per-search memo hits that skipped a repeated per-pod sub-search
     memo_hits: int = 0
+    #: cross-pass negative-memo hits that skipped a whole pod sub-search
+    xpass_memo_hits: int = 0
+    #: cross-pass memo entries dropped because the pod's epoch moved on
+    xpass_memo_epoch_flushes: int = 0
+    #: backtracking steps replayed (not executed) from cross-pass memo
+    #: hits; ``backtrack_steps + xpass_memo_replayed_steps`` equals the
+    #: memo-off step count exactly
+    xpass_memo_replayed_steps: int = 0
     #: backtracking steps actually executed by the allocator searches
     backtrack_steps: int = 0
     #: queued candidates skipped by the vector pass's prefilter (cache /
@@ -224,16 +232,19 @@ class SimResult:
     ) -> Dict[float, float]:
         """Nearest-rank quantiles of per-job wait (queueing latency).
 
-        Returns ``{q: seconds}``; NaN values when the run has no jobs.
-        Nearest-rank (ceil(q*n)-th order statistic) so the reported
-        latency is always one a job actually experienced.
+        Returns ``{q: seconds}``; ``0.0`` when the run started no jobs —
+        a degenerate run has no latency to report, and a NaN here would
+        leak into the exported ``repro_sched_wait_seconds`` gauges
+        (NaN poisons downstream aggregation silently).  Nearest-rank
+        (ceil(q*n)-th order statistic) so the reported latency is always
+        one a job actually experienced.
         """
         waits = sorted(j.wait for j in self.jobs)
         n = len(waits)
         out: Dict[float, float] = {}
         for q in qs:
             if not n:
-                out[q] = float("nan")
+                out[q] = 0.0
             else:
                 rank = min(n - 1, max(0, int(math.ceil(q * n)) - 1))
                 out[q] = waits[rank]
@@ -340,29 +351,41 @@ PROVENANCE_COLUMNS = (
 )
 
 
+def _finite_or_none(value: Any) -> Any:
+    """Map non-finite floats to ``None`` (JSON has no NaN/Infinity —
+    ``json.dumps`` would happily emit them and produce lines no strict
+    parser accepts; CSV readers choke on ``nan`` cells the same way)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
 def write_provenance_jsonl(rows: Sequence[Dict[str, Any]], path) -> None:
     """Write provenance rows as JSON Lines, one job per line.
 
     Keys are emitted in :data:`PROVENANCE_COLUMNS` order; unknown keys
-    in a row are an error (the export format is a contract)."""
+    in a row are an error (the export format is a contract).  Non-finite
+    floats are emitted as ``null`` so every line parses under strict
+    JSON even for degenerate rows (a job that never became eligible)."""
     with open(path, "w") as fh:
         for row in rows:
             extra = set(row) - set(PROVENANCE_COLUMNS)
             if extra:
                 raise ValueError(f"unknown provenance columns: {sorted(extra)}")
             fh.write(json.dumps(
-                {k: row.get(k) for k in PROVENANCE_COLUMNS}
+                {k: _finite_or_none(row.get(k)) for k in PROVENANCE_COLUMNS}
             ) + "\n")
 
 
 def write_provenance_csv(rows: Sequence[Dict[str, Any]], path) -> None:
-    """Write provenance rows as CSV (``None`` becomes an empty cell)."""
+    """Write provenance rows as CSV (``None`` and non-finite floats
+    become empty cells)."""
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(PROVENANCE_COLUMNS)
         for row in rows:
             writer.writerow(
-                "" if row.get(k) is None else row.get(k)
+                "" if _finite_or_none(row.get(k)) is None else row.get(k)
                 for k in PROVENANCE_COLUMNS
             )
 

@@ -1610,6 +1610,13 @@ class _RunState:
             pods_pruned=self.allocator.stats.pods_pruned,
             candidate_hits=self.allocator.stats.candidate_hits,
             memo_hits=self.allocator.stats.memo_hits,
+            xpass_memo_hits=self.allocator.stats.xpass_memo_hits,
+            xpass_memo_epoch_flushes=(
+                self.allocator.stats.xpass_memo_epoch_flushes
+            ),
+            xpass_memo_replayed_steps=(
+                self.allocator.stats.xpass_memo_replayed_steps
+            ),
             backtrack_steps=self.allocator.stats.backtrack_steps,
             queue_prefiltered=self.allocator.stats.queue_prefiltered,
             size_cut_skips=self.allocator.stats.size_cut_skips,

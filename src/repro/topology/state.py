@@ -160,6 +160,20 @@ class ClusterState:
         ]
         #: total free nodes on the machine
         self.free_nodes_total = tree.num_nodes
+        #: count of claimed uplinks per leaf (0 = every cable to the
+        #: pod's L2 switches is free); drives the usable-leaf index
+        self._leaf_busy_up = np.zeros(tree.num_leaves, dtype=np.int32)
+        #: per-pod bitmask of leaf offsets with >= 1 claimed uplink;
+        #: a fully-free leaf on this mask cannot host a full-bandwidth
+        #: (all-uplinks) placement
+        self._busy_leaf_mask: List[int] = [0] * m3
+        #: numpy column of ``_busy_leaf_mask[pod] != 0`` — lets the
+        #: vectorized shape search partition pods in one fancy-index
+        self.busy_leaf_any = np.zeros(m3, dtype=bool)
+        #: per-pod mutation epoch: bumped whenever any resource of the
+        #: pod (node, leaf uplink, spine link) changes hands.  Lets
+        #: allocators validate cross-call memo entries in O(1).
+        self.pod_epoch = np.zeros(m3, dtype=np.int64)
         self._claims: Dict[int, ClaimRecord] = {}
 
     # ------------------------------------------------------------------
@@ -217,6 +231,27 @@ class ClusterState:
         = the ``j``-th leaf of the pod is fully free)."""
         return self._leaf_buckets[pod][self.tree.m1]
 
+    def busy_uplink_leaf_mask(self, pod: int) -> int:
+        """Bitmask of leaf offsets of ``pod`` with at least one claimed
+        uplink.  Maintained incrementally from ``_leaf_busy_up``."""
+        return self._busy_leaf_mask[pod]
+
+    def usable_full_leaf_mask(self, pod: int) -> int:
+        """Bitmask of leaf offsets of ``pod`` that are *usable* as full
+        leaves: every node free **and** every uplink cable free.
+
+        A leaf-link fault (or any partial uplink claim) removes a leaf
+        from this mask even though its nodes are all free — placements
+        that claim all ``l2_per_pod`` uplinks of a full leaf must draw
+        from here, not from :meth:`fully_free_leaf_mask`.
+        """
+        return self._leaf_buckets[pod][self.tree.m1] & ~self._busy_leaf_mask[pod]
+
+    def usable_full_leaves(self, pod: int) -> int:
+        """Count of usable full leaves of ``pod`` (see
+        :meth:`usable_full_leaf_mask`)."""
+        return self.usable_full_leaf_mask(pod).bit_count()
+
     def leaf_candidates(self, pod: int, min_free: int) -> List[int]:
         """Global leaf ids of ``pod`` with at least ``min_free`` free
         nodes, in best-fit order: ascending free count, then ascending
@@ -257,6 +292,15 @@ class ClusterState:
             if bucket:
                 return base + (bucket & -bucket).bit_length() - 1
         return None
+
+    def leaf_ge_view(self) -> np.ndarray:
+        """Read-only view of the ``_leaf_ge`` counter matrix: row ``k``,
+        column ``pod`` counts the pod's leaves with at least ``k`` free
+        nodes.  Columnar consumers (the vectorized shape search) slice
+        this instead of re-deriving histograms; writes raise."""
+        v = self._leaf_ge.view()
+        v.flags.writeable = False
+        return v
 
     def feasible_pods(
         self,
@@ -334,10 +378,12 @@ class ClusterState:
                 raise AllocationError(f"spine link ({pod}, {i}, {j}) is not free")
 
         m1, m2 = self.tree.m1, self.tree.m2
+        touched_pods = set()
         for n in nodes:
             self.node_owner[n] = job_id
             leaf = n // m1
             pod = leaf // m2
+            touched_pods.add(pod)
             f = int(self.free_per_leaf[leaf])
             if f == m1:
                 self.full_free_leaves[pod] -= 1
@@ -352,8 +398,17 @@ class ClusterState:
             self._leaf_ge[f, pod] -= 1
         for leaf, i in leaf_links:
             self.leaf_up_mask[leaf] &= ~(1 << i)
+            pod = leaf // m2
+            touched_pods.add(pod)
+            if self._leaf_busy_up[leaf] == 0:
+                self._busy_leaf_mask[pod] |= 1 << (leaf - pod * m2)
+                self.busy_leaf_any[pod] = True
+            self._leaf_busy_up[leaf] += 1
         for pod, i, j in spine_links:
             self.spine_free_mask[pod][i] &= ~(1 << j)
+            touched_pods.add(pod)
+        for pod in touched_pods:
+            self.pod_epoch[pod] += 1
         self.free_nodes_total -= len(nodes)
         self._claims[job_id] = ClaimRecord(job_id, nodes, leaf_links, spine_links)
 
@@ -364,10 +419,12 @@ class ClusterState:
         except KeyError:
             raise AllocationError(f"job {job_id} holds no allocation") from None
         m1, m2 = self.tree.m1, self.tree.m2
+        touched_pods = set()
         for n in rec.nodes:
             self.node_owner[n] = -1
             leaf = n // m1
             pod = leaf // m2
+            touched_pods.add(pod)
             f = int(self.free_per_leaf[leaf])
             self.free_per_leaf[leaf] = f + 1
             self.pod_free[pod] += 1
@@ -381,8 +438,18 @@ class ClusterState:
             self._leaf_ge[f + 1, pod] += 1
         for leaf, i in rec.leaf_links:
             self.leaf_up_mask[leaf] |= 1 << i
+            pod = leaf // m2
+            touched_pods.add(pod)
+            self._leaf_busy_up[leaf] -= 1
+            if self._leaf_busy_up[leaf] == 0:
+                self._busy_leaf_mask[pod] &= ~(1 << (leaf - pod * m2))
+                if not self._busy_leaf_mask[pod]:
+                    self.busy_leaf_any[pod] = False
         for pod, i, j in rec.spine_links:
             self.spine_free_mask[pod][i] |= 1 << j
+            touched_pods.add(pod)
+        for pod in touched_pods:
+            self.pod_epoch[pod] += 1
         self.free_nodes_total += len(rec.nodes)
         return rec
 
@@ -408,6 +475,7 @@ class ClusterState:
                 )
         recs = [self._claims.pop(job_id) for job_id in ids]
         m1, m2 = self.tree.m1, self.tree.m2
+        touched_pods = set()
         all_nodes = [n for rec in recs for n in rec.nodes]
         if all_nodes:
             nodes_arr = np.array(all_nodes, np.int64)
@@ -418,6 +486,7 @@ class ClusterState:
             for leaf in np.flatnonzero(counts).tolist():
                 delta = int(counts[leaf])
                 pod = leaf // m2
+                touched_pods.add(pod)
                 f = int(self.free_per_leaf[leaf])
                 nf = f + delta
                 self.free_per_leaf[leaf] = nf
@@ -433,8 +502,18 @@ class ClusterState:
         for rec in recs:
             for leaf, i in rec.leaf_links:
                 self.leaf_up_mask[leaf] |= 1 << i
+                pod = leaf // m2
+                touched_pods.add(pod)
+                self._leaf_busy_up[leaf] -= 1
+                if self._leaf_busy_up[leaf] == 0:
+                    self._busy_leaf_mask[pod] &= ~(1 << (leaf - pod * m2))
+                    if not self._busy_leaf_mask[pod]:
+                        self.busy_leaf_any[pod] = False
             for pod, i, j in rec.spine_links:
                 self.spine_free_mask[pod][i] |= 1 << j
+                touched_pods.add(pod)
+        for pod in touched_pods:
+            self.pod_epoch[pod] += 1
         return recs
 
     # ------------------------------------------------------------------
@@ -473,6 +552,19 @@ class ClusterState:
                     raise AllocationError(
                         f"_leaf_buckets[{pod}][{f}] out of sync"
                     )
+            want_busy = mask_of(
+                j
+                for j in range(tree.m2)
+                if self.leaf_up_mask[lo + j] != self._full_leaf_mask
+            )
+            if want_busy != self._busy_leaf_mask[pod]:
+                raise AllocationError(f"_busy_leaf_mask[{pod}] out of sync")
+            if bool(want_busy) != bool(self.busy_leaf_any[pod]):
+                raise AllocationError(f"busy_leaf_any[{pod}] out of sync")
+        for leaf in range(tree.num_leaves):
+            claimed = tree.l2_per_pod - self.leaf_up_mask[leaf].bit_count()
+            if claimed != self._leaf_busy_up[leaf]:
+                raise AllocationError(f"_leaf_busy_up[{leaf}] out of sync")
         owned_nodes: Dict[int, int] = {}
         owned_leaf_links: Dict[LinkId, int] = {}
         owned_spine_links: Dict[SpineLinkId, int] = {}
@@ -519,6 +611,12 @@ class LinkCapacityState:
         t = self.tree
         self.leaf_bw = np.zeros((t.num_leaves, t.l2_per_pod))
         self.spine_bw = np.zeros((t.num_pods, t.l2_per_pod, t.spines_per_group))
+        #: per-pod bandwidth-mutation epoch, bumped on every claim or
+        #: release touching any link of the pod — the LC-family analogue
+        #: of :attr:`ClusterState.pod_epoch` for memo invalidation
+        self.pod_epoch = np.zeros(t.num_pods, dtype=np.int64)
+        self._pow2_leaf = 1 << np.arange(t.l2_per_pod, dtype=np.int64)
+        self._pow2_spine = 1 << np.arange(t.spines_per_group, dtype=np.int64)
         self._claims: Dict[int, Tuple[Tuple[LinkId, ...], Tuple[SpineLinkId, ...], float]] = {}
 
     @property
@@ -546,6 +644,25 @@ class LinkCapacityState:
                 m |= 1 << j
         return m
 
+    def leaf_masks_of_pod(self, pod: int, need: float) -> List[int]:
+        """Headroom bitmasks for every leaf of ``pod`` in one pass.
+
+        Element ``j`` equals ``leaf_mask(first_leaf + j, need)`` exactly:
+        the comparison is the same IEEE-754 ``row + need <= cap + 1e-9``
+        evaluated elementwise, so columnar and scalar callers agree
+        bit-for-bit.
+        """
+        lo = pod * self.tree.m2
+        rows = self.leaf_bw[lo : lo + self.tree.m2]
+        ok = rows + need <= self.capacity + 1e-9
+        return (ok.astype(np.int64) @ self._pow2_leaf).tolist()
+
+    def spine_masks_of_pod(self, pod: int, need: float) -> List[int]:
+        """Headroom bitmasks for every L2 group of ``pod`` in one pass;
+        element ``i`` equals ``spine_mask(pod, i, need)`` exactly."""
+        ok = self.spine_bw[pod] + need <= self.capacity + 1e-9
+        return (ok.astype(np.int64) @ self._pow2_spine).tolist()
+
     def claim(
         self,
         job_id: int,
@@ -563,10 +680,16 @@ class LinkCapacityState:
         for pod, i, j in spine_links:
             if self.spine_bw[pod][i][j] + need > cap + 1e-9:
                 raise AllocationError(f"spine link ({pod}, {i}, {j}) over capacity")
+        m2 = self.tree.m2
+        touched_pods = set()
         for leaf, i in leaf_links:
             self.leaf_bw[leaf][i] += need
+            touched_pods.add(leaf // m2)
         for pod, i, j in spine_links:
             self.spine_bw[pod][i][j] += need
+            touched_pods.add(pod)
+        for pod in touched_pods:
+            self.pod_epoch[pod] += 1
         self._claims[job_id] = (tuple(leaf_links), tuple(spine_links), need)
 
     def claimants(
@@ -600,11 +723,17 @@ class LinkCapacityState:
         # on the links this job touched: a whole-array clip here costs
         # O(total links) per release and would also paper over genuine
         # accounting bugs on links the job never used.
+        m2 = self.tree.m2
+        touched_pods = set()
         for leaf, i in leaf_links:
             self.leaf_bw[leaf][i] -= need
             if self.leaf_bw[leaf][i] < 0.0:
                 self.leaf_bw[leaf][i] = 0.0
+            touched_pods.add(leaf // m2)
         for pod, i, j in spine_links:
             self.spine_bw[pod][i][j] -= need
             if self.spine_bw[pod][i][j] < 0.0:
                 self.spine_bw[pod][i][j] = 0.0
+            touched_pods.add(pod)
+        for pod in touched_pods:
+            self.pod_epoch[pod] += 1

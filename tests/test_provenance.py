@@ -148,13 +148,16 @@ class TestWaitQuantiles:
         assert q[0.5] in waits and q[0.99] in waits
         assert q[0.5] <= q[0.95] <= q[0.99] <= waits[-1]
 
-    def test_empty_result_is_nan(self):
+    def test_empty_result_is_zero_not_nan(self):
+        # Regression: a run that started no jobs used to report NaN
+        # quantiles, which leaked into the exported wait gauges.
         import dataclasses
 
         result = _run("baseline")
         empty = dataclasses.replace(result, jobs=[])
         q = empty.wait_quantiles()
-        assert all(math.isnan(v) for v in q.values())
+        assert all(v == 0.0 for v in q.values())
+        assert not any(math.isnan(v) for v in q.values())
 
     def test_bridge_exports_wait_gauges(self):
         from repro.obs.bridge import registry_for_result
@@ -165,3 +168,94 @@ class TestWaitQuantiles:
         assert len(keys) == 3
         for q in ("0.5", "0.95", "0.99"):
             assert any(f'quantile="{q}"' in k for k in keys), keys
+
+
+class TestDegenerateRuns:
+    """Satellite regression: zero-started runs must export cleanly.
+
+    A run in which no job ever starts (empty trace, or a fault-starved
+    cluster that strands every arrival) used to emit NaN wait gauges;
+    the provenance writers must likewise never produce a line strict
+    JSON or CSV parsers reject.
+    """
+
+    def _starved_result(self):
+        from repro.core.registry import make_allocator
+        from repro.sched.job import Job
+        from repro.sched.resilience import FaultSpec, FaultTimeline
+        from repro.sched.simulator import Simulator
+        from repro.topology.fattree import FatTree
+
+        tree = FatTree.from_radix(4)
+        # Fail 12 of the 16 nodes forever before the only job arrives:
+        # the size-8 job can never start and ends up unscheduled.
+        timeline = FaultTimeline(tuple(
+            FaultSpec(0.0, "node", (node,), float("inf"))
+            for node in range(12)
+        ))
+        sim = Simulator(
+            make_allocator("jigsaw", tree),
+            provenance=True, fault_timeline=timeline,
+        )
+        return sim.run([Job(id=0, size=8, runtime=10.0, arrival=1.0)])
+
+    def test_starved_run_has_no_nan_gauges(self):
+        from repro.obs.bridge import registry_for_result
+
+        result = self._starved_result()
+        assert not result.jobs and result.unscheduled == [0]
+        assert all(v == 0.0 for v in result.wait_quantiles().values())
+        for key, value in registry_for_result(result).snapshot().items():
+            assert not (isinstance(value, float) and math.isnan(value)), key
+
+    def test_starved_run_exports_parse(self, tmp_path):
+        import json
+
+        result = self._starved_result()
+        jsonl = tmp_path / "prov.jsonl"
+        write_provenance_jsonl(result.provenance, jsonl)
+        with open(jsonl) as fh:
+            rows = [json.loads(line) for line in fh]  # strict JSON
+        assert [r["state"] for r in rows] == ["unscheduled"]
+        assert rows[0]["start"] is None and rows[0]["wait"] is None
+        path = tmp_path / "prov.csv"
+        write_provenance_csv(result.provenance, path)
+        with open(path, newline="") as fh:
+            parsed = list(csv.reader(fh))
+        assert tuple(parsed[0]) == PROVENANCE_COLUMNS
+        assert len(parsed) == 2 and "nan" not in ",".join(parsed[1]).lower()
+
+    def test_nonfinite_fields_export_as_null(self, tmp_path):
+        import json
+
+        row = {k: None for k in PROVENANCE_COLUMNS}
+        row.update(job_id=1, size=2, arrival=0.0, attempts=0,
+                   skip_cache=0, skip_cut=0, skip_screen=0,
+                   skip_search=0, skip_budget=0, state="queued",
+                   first_eligible=float("nan"), wait=float("inf"))
+        jsonl = tmp_path / "nonfinite.jsonl"
+        write_provenance_jsonl([row], jsonl)
+        with open(jsonl) as fh:
+            (parsed,) = [json.loads(line, parse_constant=_reject_constant)
+                         for line in fh]
+        assert parsed["first_eligible"] is None and parsed["wait"] is None
+        path = tmp_path / "nonfinite.csv"
+        write_provenance_csv([row], path)
+        with open(path, newline="") as fh:
+            header, data = list(csv.reader(fh))
+        assert data[header.index("first_eligible")] == ""
+        assert data[header.index("wait")] == ""
+
+    def test_empty_rows_export(self, tmp_path):
+        jsonl = tmp_path / "empty.jsonl"
+        write_provenance_jsonl([], jsonl)
+        assert open(jsonl).read() == ""
+        path = tmp_path / "empty.csv"
+        write_provenance_csv([], path)
+        with open(path, newline="") as fh:
+            (header,) = list(csv.reader(fh))
+        assert tuple(header) == PROVENANCE_COLUMNS
+
+
+def _reject_constant(name):
+    raise AssertionError(f"non-strict JSON constant emitted: {name}")
